@@ -1,0 +1,139 @@
+// Command costmodel regenerates the paper's analytic artifacts: Figure 2
+// (theoretical traffic savings on a 1024-node radix-32 fat-tree), Figure 7
+// (bitmap and receive-buffer sizing vs PSN bits) and the Appendix B
+// speedup of {multicast Allgather + INC Reduce-Scatter}, both from the
+// closed-form model and measured on the simulator.
+//
+// Usage:
+//
+//	costmodel -fig 2|7
+//	costmodel -speedup
+//	costmodel -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/harness"
+	"repro/internal/model"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (2 or 7)")
+	speedup := flag.Bool("speedup", false, "Appendix B concurrent {AG,RS} study")
+	economics := flag.Bool("economics", false, "§VII SmartNIC offloading economics")
+	all := flag.Bool("all", false, "run everything")
+	flag.Parse()
+	if !*all && *fig == 0 && !*speedup && !*economics {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *all || *fig == 2 {
+		fig2()
+	}
+	if *all || *fig == 7 {
+		fig7()
+	}
+	if *all || *speedup {
+		appB()
+	}
+	if *all || *economics {
+		econ()
+	}
+}
+
+func econ() {
+	fmt.Println("\n== \u00a7VII: economics of SmartNIC offloading (SuperPOD node) ==")
+	in := model.SuperPODNode()
+	r := in.Economics()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "links\t%d x %.0f Gbit/s\n", in.Links, in.LinkGbps)
+	fmt.Fprintf(w, "CPU cores to drive links (both directions)\t%.0f\n", r.CoresNeeded)
+	fmt.Fprintf(w, "host CPUs (%d sockets)\t$%.0f\t%.0f W\n", in.Sockets, r.CPUCost, r.CPUWatts)
+	fmt.Fprintf(w, "DPA SmartNICs (%d)\t$%.0f\t%.0f W\n", in.Links, r.NICCost, r.NICWatts)
+	fmt.Fprintf(w, "NIC advantage\t%.1fx cheaper\t%.1fx less power\n", r.CostAdvantage, r.PowerAdvantage)
+	w.Flush()
+	fmt.Println("paper: NICs ~2.5x lower cost and ~7x lower energy than the CPUs.")
+}
+
+func fig2() {
+	fmt.Println("\n== Figure 2: theoretical Allgather traffic, 1024 nodes, radix-32 fat-tree ==")
+	g, err := model.Fig2Cluster()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "costmodel:", err)
+		os.Exit(1)
+	}
+	m, err := model.NewTrafficModel(g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "costmodel:", err)
+		os.Exit(1)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "send buffer\tring AG bytes\tlinear AG bytes\tmcast AG bytes\tsavings (ring/mcast)")
+	for _, n := range []int{64 << 10, 256 << 10, 1 << 20, 4 << 20} {
+		fmt.Fprintf(w, "%s\t%.3g\t%.3g\t%.3g\t%.2fx\n",
+			size(n), m.RingAllgatherBytes(n), m.LinearAllgatherBytes(n),
+			m.McastAllgatherBytes(n), m.Savings(n))
+	}
+	w.Flush()
+	fmt.Println("paper: multicast-based Allgather halves total network traffic at scale.")
+}
+
+func fig7() {
+	fmt.Println("\n== Figure 7: bitmap and receive-buffer sizes vs PSN bits (4 KiB chunks) ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "PSN bits\tmax recv buffer\tbitmap\tfits DPA LLC (1.5 MB)")
+	for _, p := range model.BitmapModel(16, 28, 4096) {
+		fmt.Fprintf(w, "%d\t%s\t%s\t%v\n",
+			p.PSNBits, human(p.MaxRecvBuffer), human(p.BitmapBytes), p.FitsDPALLC)
+	}
+	w.Flush()
+	fmt.Printf("LLC-limited receive buffer: %s (paper: ~50 GB).\n", human(model.MaxBufferFittingLLC(4096)))
+	fmt.Printf("communicators fitting the LLC (64 KiB bitmap + 16 KiB ctx): %d (paper: >16).\n",
+		model.CommunicatorsFittingLLC(64<<10, 16<<10))
+}
+
+func appB() {
+	fmt.Println("\n== Appendix B: concurrent {Allgather, Reduce-Scatter} speedup ==")
+	pts, err := harness.AppBConcurrent([]int{2, 4, 8, 16}, 1<<20)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "costmodel:", err)
+		os.Exit(1)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "P\t{AGring,RSring}\t{AGmcast,RSinc}\tmeasured speedup\tmodel 2-2/P")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%d\t%v\t%v\t%.2fx\t%.2fx\n", p.P, p.RingPair, p.IncPair, p.Speedup, p.Model)
+	}
+	w.Flush()
+	fmt.Println("paper: concurrent collectives speed up by up to 2x at scale.")
+}
+
+func size(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func human(b float64) string {
+	switch {
+	case b >= 1<<40:
+		return fmt.Sprintf("%.1f TiB", b/(1<<40))
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}

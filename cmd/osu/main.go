@@ -1,0 +1,210 @@
+// Command osu is an OSU-microbenchmark-style driver for the simulated
+// collectives, mirroring the measurement methodology of the paper's
+// evaluation (§VI-A): warm-up iterations excluded, per-rank timings over
+// many iterations, medians with nonparametric confidence intervals
+// (Hoefler–Belli guidelines).
+//
+// Usage:
+//
+//	osu -op allgather -algo mcast -nodes 32 -sizes 4096:1048576 -iters 20
+//	osu -op broadcast -algo knomial -nodes 188
+//
+// Operations: allgather (algos: mcast, ring, linear), broadcast (algos:
+// mcast, knomial, binary, chain).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/coll"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/verbs"
+)
+
+func main() {
+	op := flag.String("op", "allgather", "collective: allgather or broadcast")
+	algo := flag.String("algo", "mcast", "algorithm (allgather: mcast|ring|linear; broadcast: mcast|knomial|binary|chain)")
+	nodes := flag.Int("nodes", 32, "participating nodes (<=188)")
+	sizesFlag := flag.String("sizes", "4096:1048576", "size range min:max (doubling) or comma list")
+	iters := flag.Int("iters", 10, "measured iterations per size")
+	warmup := flag.Int("warmup", 2, "warm-up iterations per size (excluded)")
+	linkGbps := flag.Float64("link", 56, "link bandwidth in Gbit/s (testbed: 56)")
+	jitter := flag.Int("jitter", 0, "per-delivery network noise in microseconds (enables run-to-run variability)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osu:", err)
+		os.Exit(2)
+	}
+	if *nodes < 1 || *nodes > 188 {
+		fmt.Fprintln(os.Stderr, "osu: nodes must be in [1,188]")
+		os.Exit(2)
+	}
+
+	runner, err := buildRunner(*op, *algo, *nodes, *linkGbps*1e9/8, *seed, *jitter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osu:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("# OSU-style %s / %s, %d nodes, %.0f Gbit/s links, %d iters (+%d warmup)\n",
+		*op, *algo, *nodes, *linkGbps, *iters, *warmup)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "size\tmedian µs\tCI95 low\tCI95 high\tmin µs\tmax µs\tGiB/s")
+	for _, n := range sizes {
+		var lat []float64
+		for i := 0; i < *warmup+*iters; i++ {
+			d, recvBytes, err := runner(n)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "osu: size %d iter %d: %v\n", n, i, err)
+				os.Exit(1)
+			}
+			if i >= *warmup {
+				lat = append(lat, d.Micros())
+				_ = recvBytes
+			}
+		}
+		s := stats.Summarize(lat)
+		_, recvBytes, _ := runnerMeta(*op, *nodes, n)
+		bw := float64(recvBytes) / (s.Median / 1e6) / (1 << 30)
+		fmt.Fprintf(w, "%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.3f\n",
+			n, s.Median, s.CILow, s.CIHigh, s.Min, s.Max, bw)
+	}
+	w.Flush()
+}
+
+// runnerMeta returns the per-rank receive volume for bandwidth reporting.
+func runnerMeta(op string, nodes, n int) (int, int, error) {
+	if op == "allgather" {
+		return n, (nodes - 1) * n, nil
+	}
+	return n, n, nil
+}
+
+// buildRunner constructs a closure running one iteration of the selected
+// collective and returning its duration. The communicator/team persists
+// across iterations (buffers cached, QPs warm), as OSU benchmarks do.
+func buildRunner(op, algo string, nodes int, linkBw float64, seed uint64, jitterUs int) (func(n int) (sim.Time, int, error), error) {
+	eng := sim.NewEngine(seed)
+	g := topology.Testbed188()
+	f := fabric.New(eng, g, fabric.Config{
+		LinkBandwidth: linkBw,
+		ReorderJitter: sim.Time(jitterUs) * sim.Microsecond,
+	})
+	hosts := g.Hosts()[:nodes]
+
+	switch op {
+	case "allgather":
+		switch algo {
+		case "mcast":
+			comm, err := core.NewCommunicator(f, hosts, core.Config{Transport: verbs.UD})
+			if err != nil {
+				return nil, err
+			}
+			return func(n int) (sim.Time, int, error) {
+				res, err := comm.RunAllgather(n)
+				if err != nil {
+					return 0, 0, err
+				}
+				return res.Duration(), (nodes - 1) * n, nil
+			}, nil
+		case "ring", "linear":
+			team, err := coll.NewTeamOn(f, hosts, coll.Config{})
+			if err != nil {
+				return nil, err
+			}
+			return func(n int) (sim.Time, int, error) {
+				var res *coll.Result
+				var err error
+				if algo == "ring" {
+					res, err = team.RunRingAllgather(n)
+				} else {
+					res, err = team.RunLinearAllgather(n)
+				}
+				if err != nil {
+					return 0, 0, err
+				}
+				return res.Duration(), res.RecvBytes, nil
+			}, nil
+		}
+	case "broadcast":
+		switch algo {
+		case "mcast":
+			comm, err := core.NewCommunicator(f, hosts, core.Config{Transport: verbs.UD})
+			if err != nil {
+				return nil, err
+			}
+			return func(n int) (sim.Time, int, error) {
+				res, err := comm.RunBroadcast(0, n)
+				if err != nil {
+					return 0, 0, err
+				}
+				return res.Duration(), n, nil
+			}, nil
+		case "knomial", "binary", "chain":
+			team, err := coll.NewTeamOn(f, hosts, coll.Config{})
+			if err != nil {
+				return nil, err
+			}
+			return func(n int) (sim.Time, int, error) {
+				var res *coll.Result
+				var err error
+				switch algo {
+				case "knomial":
+					res, err = team.RunKnomialBroadcast(0, n)
+				case "binary":
+					res, err = team.RunBinaryTreeBroadcast(0, n)
+				default:
+					res, err = team.RunChainBroadcast(0, n)
+				}
+				if err != nil {
+					return 0, 0, err
+				}
+				return res.Duration(), n, nil
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown op/algo %s/%s", op, algo)
+}
+
+func parseSizes(s string) ([]int, error) {
+	if strings.Contains(s, ":") {
+		parts := strings.SplitN(s, ":", 2)
+		lo, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		hi, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		if lo <= 0 || hi < lo {
+			return nil, fmt.Errorf("bad size range %q", s)
+		}
+		var out []int
+		for n := lo; n <= hi; n *= 2 {
+			out = append(out, n)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+// Package repro is the public face of the reproduction of "Network-
+// Offloaded Bandwidth-Optimal Broadcast and Allgather for Distributed AI"
+// (Khalilov et al., SC 2024): a deterministic simulation of RDMA fat-tree
+// fabrics with hardware multicast, the paper's reliable multicast Broadcast
+// and bandwidth-optimal Allgather protocols, a DPA SmartNIC offload model,
+// and the point-to-point baselines they are evaluated against.
+//
+// A typical session builds a System (topology + fabric + per-host runtime),
+// creates communicators or baseline teams on it, and runs collectives:
+//
+//	sys, _ := repro.NewSystem(repro.SystemConfig{Hosts: 16})
+//	comm, _ := sys.NewCommunicator(sys.Hosts(), core.Config{Transport: verbs.UD})
+//	res, _ := comm.RunAllgather(1 << 20)
+//	fmt.Println(res.AlgBandwidth())
+//
+// The heavy lifting lives in the internal packages: sim (event engine),
+// topology, fabric, verbs, dpa, core (the paper's contribution), coll
+// (baselines), model (analytic cost models) and harness (per-figure
+// experiment drivers).
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/coll"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// SystemConfig shapes a simulated cluster.
+type SystemConfig struct {
+	// Hosts is the number of compute endpoints. Zero defaults to 16.
+	Hosts int
+	// Topology selects the network shape: "fattree2" (default), "fattree3",
+	// "testbed188" (the paper's 18-switch UCC testbed; forces Hosts=188),
+	// or "star".
+	Topology string
+	// FatTree parameters for "fattree2" (defaults: 16 hosts/leaf, enough
+	// spines for 2:1 oversubscription) and "fattree3" (radix).
+	HostsPerLeaf int
+	Spines       int
+	Radix        int
+	// Fabric tunes link bandwidth, latency, MTU, drops.
+	Fabric fabric.Config
+	// Cluster tunes per-host CPU and transport parameters.
+	Cluster cluster.Config
+	// Seed fixes the simulation's random stream (default 1).
+	Seed uint64
+}
+
+// System bundles one simulation: engine, topology, fabric and the shared
+// per-host runtime.
+type System struct {
+	Engine  *sim.Engine
+	Graph   *topology.Graph
+	Fabric  *fabric.Fabric
+	Cluster *cluster.Cluster
+}
+
+// NewSystem builds a simulated cluster.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.Hosts == 0 {
+		cfg.Hosts = 16
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	var g *topology.Graph
+	var err error
+	switch cfg.Topology {
+	case "", "fattree2":
+		hpl := cfg.HostsPerLeaf
+		if hpl == 0 {
+			hpl = 16
+		}
+		spines := cfg.Spines
+		if spines == 0 {
+			spines = (hpl + 1) / 2
+		}
+		g, err = topology.TwoLevelFatTree(topology.FatTreeSpec{
+			Hosts: cfg.Hosts, HostsPerLeaf: hpl, Spines: spines,
+		})
+	case "fattree3":
+		radix := cfg.Radix
+		if radix == 0 {
+			radix = 8
+		}
+		g, err = topology.ThreeLevelFatTree(radix, cfg.Hosts)
+	case "testbed188":
+		g = topology.Testbed188()
+	case "star":
+		g = topology.Star(cfg.Hosts)
+	default:
+		return nil, fmt.Errorf("repro: unknown topology %q", cfg.Topology)
+	}
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	f := fabric.New(eng, g, cfg.Fabric)
+	return &System{
+		Engine:  eng,
+		Graph:   g,
+		Fabric:  f,
+		Cluster: cluster.New(f, cfg.Cluster),
+	}, nil
+}
+
+// Hosts returns all endpoint node IDs.
+func (s *System) Hosts() []topology.NodeID { return s.Graph.Hosts() }
+
+// NewCommunicator creates a multicast-collective communicator over the
+// given hosts, sharing the system's per-host runtime.
+func (s *System) NewCommunicator(hosts []topology.NodeID, cfg core.Config) (*core.Communicator, error) {
+	return core.NewCommunicatorOn(s.Cluster, hosts, cfg)
+}
+
+// NewTeam creates a point-to-point baseline team over the given hosts,
+// sharing the system's per-host runtime.
+func (s *System) NewTeam(hosts []topology.NodeID, cfg coll.Config) (*coll.Team, error) {
+	return coll.NewTeam(s.Cluster, hosts, cfg)
+}
+
+// Run drives the simulation until no events remain and returns the final
+// virtual time.
+func (s *System) Run() sim.Time { return s.Engine.Run() }

@@ -1,0 +1,91 @@
+// Distributed file system replication: the paper's §VII deployment target
+// for the constant-time Broadcast — replicating storage segments to a
+// group of servers with a tight completion-time requirement. This example
+// replicates a stream of segments over a lossy fabric, exercising the
+// reliability slow path, and compares against a k-nomial tree replication.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/coll"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/verbs"
+)
+
+const (
+	replicas     = 12
+	segmentBytes = 1 << 20 // 1 MiB storage segments
+	segments     = 8
+	dropRate     = 1e-4 // injected fabric corruption (paper: 1e-12..1e-15)
+)
+
+func main() {
+	// Multicast replication with injected drops: the bitmap + fetch-ring
+	// reliability layer must repair every loss.
+	sys, err := repro.NewSystem(repro.SystemConfig{
+		Hosts:        replicas,
+		HostsPerLeaf: 4,
+		Fabric:       fabric.Config{DropRate: dropRate},
+		Seed:         11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	comm, err := sys.NewCommunicator(sys.Hosts(), core.Config{
+		Transport:   verbs.UD,
+		Subgroups:   2,
+		VerifyData:  true,
+		CutoffAlpha: 200 * sim.Microsecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var total sim.Time
+	recovered := 0
+	for seg := 0; seg < segments; seg++ {
+		res, err := comm.RunBroadcast(0, segmentBytes)
+		if err != nil {
+			log.Fatalf("segment %d: %v", seg, err)
+		}
+		if err := comm.VerifyLast(); err != nil {
+			log.Fatalf("segment %d corrupted: %v", seg, err)
+		}
+		total += res.Duration()
+		recovered += res.MaxRecovered()
+	}
+	fmt.Printf("multicast replication: %d x %d MiB to %d replicas in %v (%.2f GiB/s per replica)\n",
+		segments, segmentBytes>>20, replicas-1, total,
+		float64(segments*segmentBytes)/total.Seconds()/(1<<30))
+	fmt.Printf("  fabric drops repaired via RDMA-read fetch ring: %d chunks; all segments verified\n",
+		recovered)
+
+	// The same replication over a k-nomial unicast tree (no drops injected,
+	// giving the baseline its best case).
+	sys2, err := repro.NewSystem(repro.SystemConfig{Hosts: replicas, HostsPerLeaf: 4, Seed: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	team, err := sys2.NewTeam(sys2.Hosts(), coll.Config{VerifyData: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var p2pTotal sim.Time
+	for seg := 0; seg < segments; seg++ {
+		res, err := team.RunKnomialBroadcast(0, segmentBytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := team.VerifyBroadcast(0, segmentBytes); err != nil {
+			log.Fatal(err)
+		}
+		p2pTotal += res.Duration()
+	}
+	fmt.Printf("k-nomial replication:  same job in %v -> multicast is %.2fx faster\n",
+		p2pTotal, float64(p2pTotal)/float64(total))
+}

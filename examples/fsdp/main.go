@@ -1,0 +1,207 @@
+// FSDP pipeline: the motivating scenario of the paper's introduction. A
+// fully-sharded-data-parallel training step walks the model layer by
+// layer: the Allgather for layer i+1's sharded weights is prefetched while
+// layer i computes, and the gradient Reduce-Scatter of layer i runs behind
+// the compute of later layers. Allgather and Reduce-Scatter therefore
+// overlap both with compute and with each other, competing for injection
+// bandwidth (§II-A).
+//
+// The example runs the same pipeline twice — with the conventional
+// {ring AG, ring RS} pair and with the paper's {multicast AG, in-network
+// RS} pair — and reports step time, speedup, and the achieved
+// communication/computation overlap.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/coll"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/verbs"
+)
+
+const (
+	ranks       = 16
+	layers      = 6
+	shardBytes  = 512 << 10             // per-rank parameter shard per layer
+	computeTime = 150 * sim.Microsecond // forward+backward compute per layer
+)
+
+// collectives abstracts the two Allgather/Reduce-Scatter pairings.
+type collectives struct {
+	name    string
+	startAG func(n int, done func()) error
+	startRS func(n int, done func()) error
+}
+
+func main() {
+	ringTime, ringOverlap, err := runPipeline(ringPair)
+	if err != nil {
+		log.Fatal(err)
+	}
+	incTime, incOverlap, err := runPipeline(incPair)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFSDP step: %d layers x %d ranks, %d KiB shards, %v compute/layer\n",
+		layers, ranks, shardBytes>>10, computeTime)
+	fmt.Printf("  {AG ring,  RS ring}: step %v, comm/comp overlap %.0f%%\n", ringTime, ringOverlap*100)
+	fmt.Printf("  {AG mcast, RS inc }: step %v, comm/comp overlap %.0f%%\n", incTime, incOverlap*100)
+	fmt.Printf("  speedup: %.2fx (Appendix B bound at P=%d: %.2fx)\n",
+		float64(ringTime)/float64(incTime), ranks, model.SpeedupINC(ranks))
+}
+
+// runPipeline executes one training step with the given collective pair
+// and returns (step time, overlap fraction).
+func runPipeline(build func(sys *repro.System) (collectives, error)) (sim.Time, float64, error) {
+	sys, err := repro.NewSystem(repro.SystemConfig{Hosts: ranks, Topology: "star", Seed: 7})
+	if err != nil {
+		return 0, 0, err
+	}
+	cs, err := build(sys)
+	if err != nil {
+		return 0, 0, err
+	}
+	eng := sys.Engine
+
+	var commBusy sim.Time // sum of collective durations (for overlap metric)
+	timed := func(start func(n int, done func()) error, n int, done func()) error {
+		t0 := eng.Now()
+		return start(n, func() {
+			commBusy += eng.Now() - t0
+			done()
+		})
+	}
+
+	agDone := make([]bool, layers)   // weights gathered
+	compDone := make([]bool, layers) // layer computed
+	pending := 0
+
+	// Reduce-Scatters are issued onto one serial stream (as a framework
+	// would enqueue them on a communication stream): a new RS starts when
+	// the previous one completes.
+	var rsQueue []int
+	rsBusy := false
+	var issueRS func()
+	issueRS = func() {
+		if rsBusy || len(rsQueue) == 0 {
+			return
+		}
+		rsBusy = true
+		n := rsQueue[0]
+		rsQueue = rsQueue[1:]
+		pending++
+		if err := timed(cs.startRS, n, func() {
+			pending--
+			rsBusy = false
+			issueRS()
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var tryCompute func(l int)
+	tryCompute = func(l int) {
+		if l >= layers || !agDone[l] || (l > 0 && !compDone[l-1]) {
+			return
+		}
+		// Forward+backward for layer l.
+		pending++
+		eng.After(computeTime, func() {
+			pending--
+			compDone[l] = true
+			// Gradients for this layer reduce-scatter in the background.
+			rsQueue = append(rsQueue, shardBytes)
+			issueRS()
+			tryCompute(l + 1)
+		})
+	}
+	var prefetch func(l int)
+	prefetch = func(l int) {
+		if l >= layers {
+			return
+		}
+		pending++
+		if err := timed(cs.startAG, shardBytes, func() {
+			pending--
+			agDone[l] = true
+			tryCompute(l)
+			prefetch(l + 1) // fetch the next layer's weights behind compute
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	prefetch(0)
+	end := sys.Run()
+	if pending != 0 {
+		return 0, 0, fmt.Errorf("fsdp (%s): %d operations never finished", cs.name, pending)
+	}
+
+	// Overlap: the fraction of communication time hidden behind compute or
+	// other communication. Exposed = step - compute on the critical path.
+	compute := sim.Time(layers) * computeTime
+	exposed := end - compute
+	if exposed < 0 {
+		exposed = 0
+	}
+	overlap := 1 - float64(exposed)/float64(commBusy)
+	if overlap < 0 {
+		overlap = 0
+	}
+	fmt.Printf("%-22s finished at %v (comm busy %v, exposed %v)\n", cs.name, end, commBusy, exposed)
+	return end, overlap, nil
+}
+
+// ringPair wires the conventional UCC/NCCL pairing.
+func ringPair(sys *repro.System) (collectives, error) {
+	agTeam, err := sys.NewTeam(sys.Hosts(), coll.Config{})
+	if err != nil {
+		return collectives{}, err
+	}
+	rsTeam, err := sys.NewTeam(sys.Hosts(), coll.Config{})
+	if err != nil {
+		return collectives{}, err
+	}
+	return collectives{
+		name: "{AG ring, RS ring}",
+		startAG: func(n int, done func()) error {
+			return agTeam.StartRingAllgather(n, func(*coll.Result) { done() })
+		},
+		startRS: func(n int, done func()) error {
+			return rsTeam.StartRingReduceScatter(n, func(*coll.Result) { done() })
+		},
+	}, nil
+}
+
+// incPair wires the paper's pairing: multicast Allgather on the receive
+// path, in-network Reduce-Scatter on the send path.
+func incPair(sys *repro.System) (collectives, error) {
+	comm, err := sys.NewCommunicator(sys.Hosts(), core.Config{
+		Transport: verbs.UD,
+		Subgroups: 4,
+		Chains:    ranks, // spread injection: the send path belongs to RS
+	})
+	if err != nil {
+		return collectives{}, err
+	}
+	rsTeam, err := sys.NewTeam(sys.Hosts(), coll.Config{})
+	if err != nil {
+		return collectives{}, err
+	}
+	rg, err := sys.Fabric.CreateReduceGroup(sys.Graph.Switches()[0], sys.Hosts())
+	if err != nil {
+		return collectives{}, err
+	}
+	return collectives{
+		name: "{AG mcast, RS inc}",
+		startAG: func(n int, done func()) error {
+			return comm.StartAllgather(n, func(*core.Result) { done() })
+		},
+		startRS: func(n int, done func()) error {
+			return rsTeam.StartINCReduceScatter(rg, n, func(*coll.Result) { done() })
+		},
+	}, nil
+}

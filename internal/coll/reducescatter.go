@@ -1,0 +1,245 @@
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/dpa"
+	"repro/internal/fabric"
+	"repro/internal/verbs"
+)
+
+// --- ring reduce-scatter -------------------------------------------------------
+
+// ringRSState is the classic ring Reduce-Scatter over a P·n working buffer:
+// P-1 steps; at step k the rank sends shard (id-k) mod P (partially
+// reduced) to its right neighbor and accumulates shard (id-k-1) mod P
+// arriving from its left neighbor. Reduction compute is charged to the
+// rank's progress thread at the memory-bound vector rate.
+type ringRSState struct {
+	p      *peer
+	d      *opDriver
+	n      int // shard bytes
+	workMR *verbs.MR
+	step   int
+	// Counters rather than booleans: the left neighbor can run a step
+	// ahead (the ring is not pairwise-symmetric).
+	reduced int
+	sent    int
+	fin     bool
+}
+
+// StartRingReduceScatter begins a non-blocking ring Reduce-Scatter: each
+// rank contributes P·n bytes and receives its n-byte reduced shard.
+func (t *Team) StartRingReduceScatter(n int, cb func(*Result)) error {
+	if err := t.checkIdle(n); err != nil {
+		return err
+	}
+	d := t.newDriver("ring-reduce-scatter", (t.Size()-1)*n, (t.Size()-1)*n, cb)
+	size := t.Size()
+	for _, p := range t.peers {
+		st := &ringRSState{p: p, d: d, n: n, workMR: p.buf(n * size)}
+		p.op = st
+		if size == 1 {
+			st.fin = true
+			t.eng.After(0, func() { d.rankDone(p) })
+			continue
+		}
+		st.sendStep()
+	}
+	return nil
+}
+
+// RunRingReduceScatter drives the engine to completion.
+func (t *Team) RunRingReduceScatter(n int) (*Result, error) {
+	var res *Result
+	if err := t.StartRingReduceScatter(n, func(r *Result) { res = r }); err != nil {
+		return nil, err
+	}
+	t.eng.Run()
+	if res == nil {
+		return nil, fmt.Errorf("coll: ring reduce-scatter did not complete")
+	}
+	return res, nil
+}
+
+func (st *ringRSState) sendStep() {
+	t := st.p.team
+	size := t.Size()
+	shard := (st.p.id - st.step + size) % size
+	right := (st.p.id + 1) % size
+	qp := t.qpTo(st.p.id, right)
+	post := st.p.thread.Run(dpa.SendPost, t.eng.Now())
+	t.eng.At(post, func() {
+		qp.PostWriteRC(uint64(shard), st.workMR, shard*st.n, st.n,
+			st.workMR.Key, shard*st.n, t.encImm(shard), true)
+	})
+}
+
+func (st *ringRSState) handle(e verbs.CQE) {
+	t := st.p.team
+	switch e.Op {
+	case verbs.OpRecvWriteImm:
+		if _, ok := t.checkSeq(e.Imm); !ok {
+			return
+		}
+		// Accumulate the incoming partial shard: memory-bound vector add on
+		// the progress thread. (Sequential RunCycles calls serialize on the
+		// thread, so back-to-back arrivals reduce one after another.)
+		cycles := float64(st.n) * st.p.node.CPU.Freq / reduceBandwidth
+		done := st.p.thread.RunCycles(cycles, cycles, t.eng.Now())
+		t.eng.At(done, func() {
+			st.reduced++
+			st.advance()
+		})
+		return
+	case verbs.OpSend:
+		st.sent++
+	case verbs.OpErr:
+		panic("coll: ring reduce-scatter transport error")
+	default:
+		return
+	}
+	st.advance()
+}
+
+func (st *ringRSState) advance() {
+	for !st.fin && st.reduced > st.step && st.sent > st.step {
+		st.step++
+		if st.step == st.p.team.Size()-1 {
+			st.fin = true
+			st.d.rankDone(st.p)
+			return
+		}
+		st.sendStep()
+	}
+}
+
+func (st *ringRSState) done() bool { return st.fin }
+
+// --- in-network-compute reduce-scatter -------------------------------------------
+
+// incRSState is the SHARP-style Reduce-Scatter: every rank streams all P
+// shards of its contribution up the fabric's reduction tree as datagrams;
+// the tree root aggregates and emits one reduced result stream per shard
+// to the shard's owner. The send path carries N(P-1) bytes per rank while
+// the receive path carries only the rank's own shard — the complement of
+// the multicast Allgather's profile (Insight 2).
+type incRSState struct {
+	p         *peer
+	d         *opDriver
+	n         int // shard bytes
+	posted    int
+	toPost    int
+	received  int
+	expect    int
+	fin       bool
+	sendMR    *verbs.MR
+	recvMR    *verbs.MR
+	batchCont func()
+}
+
+// StartINCReduceScatter begins a non-blocking in-network Reduce-Scatter.
+// rg must be a fabric reduce group spanning exactly this team's hosts.
+func (t *Team) StartINCReduceScatter(rg fabric.ReduceGroupID, n int, cb func(*Result)) error {
+	if err := t.checkIdle(n); err != nil {
+		return err
+	}
+	d := t.newDriver("inc-reduce-scatter", (t.Size()-1)*n, n, cb)
+	size := t.Size()
+	mtu := t.f.MaxPayload()
+	chunksPerShard := (n + mtu - 1) / mtu
+	for _, p := range t.peers {
+		st := &incRSState{
+			p: p, d: d, n: n,
+			toPost: chunksPerShard * size,
+			expect: chunksPerShard,
+			sendMR: p.buf(n * size),
+			recvMR: p.buf(n),
+		}
+		p.op = st
+		// The owner's shard results consume posted receives on the UD QP.
+		for c := 0; c < chunksPerShard; c++ {
+			off := c * mtu
+			length := n - off
+			if length > mtu {
+				length = mtu
+			}
+			if !p.udQP.PostRecv(uint64(c), st.recvMR, off, length) {
+				return fmt.Errorf("coll: INC receive queue exhausted")
+			}
+		}
+		st.postContributions(rg)
+	}
+	return nil
+}
+
+// RunINCReduceScatter drives the engine to completion.
+func (t *Team) RunINCReduceScatter(rg fabric.ReduceGroupID, n int) (*Result, error) {
+	var res *Result
+	if err := t.StartINCReduceScatter(rg, n, func(r *Result) { res = r }); err != nil {
+		return nil, err
+	}
+	t.eng.Run()
+	if res == nil {
+		return nil, fmt.Errorf("coll: INC reduce-scatter did not complete")
+	}
+	return res, nil
+}
+
+// postContributions streams every chunk of every shard into the reduction
+// tree, pacing the posting on the progress thread in batches so injection
+// tracks the wire.
+func (st *incRSState) postContributions(rg fabric.ReduceGroupID) {
+	t := st.p.team
+	mtu := t.f.MaxPayload()
+	chunksPerShard := (st.n + mtu - 1) / mtu
+	const batch = 64
+	var postBatch func()
+	postBatch = func() {
+		post := t.eng.Now()
+		for i := 0; i < batch && st.posted < st.toPost; i++ {
+			idx := st.posted
+			st.posted++
+			shard := idx / chunksPerShard
+			c := idx % chunksPerShard
+			off := shard*st.n + c*mtu
+			length := st.n - c*mtu
+			if length > mtu {
+				length = mtu
+			}
+			owner := t.peers[shard]
+			signaled := i == batch-1 || st.posted == st.toPost
+			post = st.p.thread.Run(dpa.SendPost, post)
+			chunkID := uint64(shard)<<32 | uint64(c)
+			t.eng.At(post, func() {
+				st.p.udQP.PostSendReduce(0, verbs.Unicast(owner.node.Host, owner.udQP.N),
+					rg, chunkID, st.sendMR, off, length, t.encImm(c), signaled)
+			})
+		}
+	}
+	st.batchCont = postBatch
+	postBatch()
+}
+
+func (st *incRSState) handle(e verbs.CQE) {
+	t := st.p.team
+	switch e.Op {
+	case verbs.OpRecv: // reduced shard chunk arrived
+		if _, ok := t.checkSeq(e.Imm); !ok {
+			return
+		}
+		st.received++
+	case verbs.OpSend:
+		if st.posted < st.toPost {
+			st.batchCont()
+		}
+	default:
+		return
+	}
+	if !st.fin && st.received == st.expect && st.posted == st.toPost {
+		st.fin = true
+		st.d.rankDone(st.p)
+	}
+}
+
+func (st *incRSState) done() bool { return st.fin }

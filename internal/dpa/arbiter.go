@@ -1,0 +1,88 @@
+package dpa
+
+import (
+	"repro/internal/sim"
+	"repro/internal/verbs"
+)
+
+// Arbiter is the software traffic arbitration the paper anticipates for
+// multi-communicator deployments (§V-C): instead of dedicating one hardware
+// thread per communicator (which oversubscribes cores as communicators
+// multiply), a single thread subscribes to several completion queues and
+// serves them round-robin on a per-datagram basis.
+//
+// Fairness is datagram-granular: each service round polls the next
+// non-empty CQ in rotation, so a busy communicator cannot starve an idle
+// one that becomes active.
+type Arbiter struct {
+	Thread  *Thread
+	Profile Profile
+
+	eng      *sim.Engine
+	queues   []*arbQueue
+	next     int
+	inflight bool
+	stopped  bool
+	// Processed counts entries served across all queues.
+	Processed uint64
+}
+
+type arbQueue struct {
+	cq     *verbs.CQ
+	handle func(e verbs.CQE)
+	served uint64
+}
+
+// NewArbiter builds an arbitrating worker on one hardware thread.
+func NewArbiter(eng *sim.Engine, th *Thread, p Profile) *Arbiter {
+	return &Arbiter{Thread: th, Profile: p, eng: eng}
+}
+
+// Subscribe adds a completion queue with its handler. Subscriptions are
+// meant to happen at communicator setup; subscribing mid-flight is safe.
+func (a *Arbiter) Subscribe(cq *verbs.CQ, handle func(e verbs.CQE)) {
+	q := &arbQueue{cq: cq, handle: handle}
+	a.queues = append(a.queues, q)
+	cq.Armed = func() { a.pump() }
+	a.pump()
+}
+
+// Served reports how many completions queue i has consumed (fairness
+// diagnostics).
+func (a *Arbiter) Served(i int) uint64 { return a.queues[i].served }
+
+// Stop halts the arbiter after the in-flight completion.
+func (a *Arbiter) Stop() { a.stopped = true }
+
+// pump serves the next non-empty queue in round-robin order, then either
+// continues or arms every queue and sleeps.
+func (a *Arbiter) pump() {
+	if a.inflight || a.stopped || len(a.queues) == 0 {
+		return
+	}
+	n := len(a.queues)
+	for i := 0; i < n; i++ {
+		q := a.queues[(a.next+i)%n]
+		e, ok := q.cq.Poll()
+		if !ok {
+			continue
+		}
+		a.next = (a.next + i + 1) % n
+		a.inflight = true
+		done := a.Thread.Run(a.Profile, a.eng.Now())
+		a.eng.At(done, func() {
+			a.inflight = false
+			a.Processed++
+			q.served++
+			if q.handle != nil {
+				q.handle(e)
+			}
+			a.pump()
+		})
+		return
+	}
+	// All drained: re-arm every queue for wake-up.
+	for _, q := range a.queues {
+		q.cq.Armed = func() { a.pump() }
+	}
+}

@@ -1,0 +1,474 @@
+// Package fabric is a deterministic packet-level network simulator. It
+// models the parts of a lossless RDMA fabric that the paper's protocol and
+// evaluation depend on:
+//
+//   - store-and-forward switching on a topology.Graph with per-channel
+//     serialization (bandwidth) and per-hop propagation latency, so that
+//     congestion, incast and receive-path bottlenecks emerge naturally;
+//   - hardware multicast: switches replicate a datagram along a spanning
+//     tree, one copy per link — the property that makes the paper's
+//     Allgather bandwidth-optimal;
+//   - unicast multipath routing, either deterministic (flow hash) or
+//     adaptive (per-packet random uplink), the latter reordering packets
+//     exactly as §III-B anticipates for next-generation fabrics;
+//   - Bernoulli fabric drops (link-layer corruption, §III-C) so the
+//     reliability slow path has something to recover from;
+//   - per-port byte/packet counters, mirroring the switch counters the
+//     paper reads for the Figure 12 traffic-reduction experiment.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// GroupID names a multicast group. Negative means unicast.
+type GroupID int
+
+// NoGroup marks a packet as unicast.
+const NoGroup GroupID = -1
+
+// Packet is one datagram on the wire. Payload is opaque to the fabric; the
+// verbs layer stores its own header structure there.
+type Packet struct {
+	ID      uint64
+	Src     topology.NodeID
+	Dst     topology.NodeID // destination host (unicast only)
+	Group   GroupID         // multicast group, or NoGroup
+	Flow    uint64          // flow label for deterministic ECMP hashing
+	Payload any
+	// Reduce routes the packet up an in-network reduction tree instead of
+	// toward Dst; the root forwards one result per ReduceChunk to Dst.
+	Reduce      ReduceGroupID
+	ReduceChunk uint64
+	// PayloadBytes is the user data size; WireBytes (payload + header) is
+	// what occupies link capacity and counters.
+	PayloadBytes int
+}
+
+// Config parameterizes the fabric.
+type Config struct {
+	// LinkBandwidth is the capacity of every channel in bytes/second.
+	// 200 Gbit/s = 25e9. Zero defaults to 25e9.
+	LinkBandwidth float64
+	// LinkLatency is per-hop propagation plus switch pipeline delay.
+	// Zero defaults to 250 ns (short copper + cut-through switch).
+	LinkLatency sim.Time
+	// HostLinkBandwidth optionally overrides bandwidth on host-switch
+	// channels (NIC injection/reception rate). Zero means LinkBandwidth.
+	HostLinkBandwidth float64
+	// HeaderBytes is per-packet wire overhead (LRH+BTH+GRH+ICRC...).
+	// Zero defaults to 64.
+	HeaderBytes int
+	// MTU is the maximum payload per packet. Zero defaults to 4096.
+	MTU int
+	// DropRate is the independent probability that any single channel
+	// traversal corrupts the packet (fabric drop). The paper cites BERs of
+	// 1e-12..1e-15; tests crank this up to exercise the recovery path.
+	DropRate float64
+	// AdaptiveRouting selects a random shortest-path candidate per packet
+	// instead of hashing the flow, introducing reordering.
+	AdaptiveRouting bool
+	// ReorderJitter, when nonzero, adds uniform random [0, ReorderJitter)
+	// latency to each final-hop delivery, emulating out-of-order arrival
+	// within a single path (e.g., spraying inside trunk groups).
+	ReorderJitter sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.LinkBandwidth == 0 {
+		c.LinkBandwidth = 25e9
+	}
+	if c.HostLinkBandwidth == 0 {
+		c.HostLinkBandwidth = c.LinkBandwidth
+	}
+	if c.LinkLatency == 0 {
+		c.LinkLatency = 250 * sim.Nanosecond
+	}
+	if c.HeaderBytes == 0 {
+		c.HeaderBytes = 64
+	}
+	if c.MTU == 0 {
+		c.MTU = 4096
+	}
+	return c
+}
+
+// PortStats counts traffic on one directed channel (an egress port).
+type PortStats struct {
+	Packets uint64
+	Bytes   uint64 // wire bytes, including headers
+	Drops   uint64 // packets corrupted while crossing this channel
+}
+
+// channel is one direction of a link: a serializing resource.
+type channel struct {
+	from, to topology.NodeID
+	bw       float64 // bytes/sec
+	nextFree sim.Time
+	stats    PortStats
+	// maxBacklog is the worst queueing delay observed at this egress port:
+	// how far nextFree ran ahead of the clock when a packet was enqueued.
+	// Incast congestion (the §IV-A motivation for the broadcast sequencer)
+	// shows up here.
+	maxBacklog sim.Time
+}
+
+// NIC is the fabric attachment point of one host. The verbs layer sets
+// Deliver to receive packets; Deliver runs at packet arrival time.
+type NIC struct {
+	Host    topology.NodeID
+	f       *Fabric
+	Deliver func(pkt *Packet)
+	// groups this NIC is attached to (receives multicast for them).
+	groups map[GroupID]bool
+	// Injected/Received count packets through this NIC for diagnostics.
+	Injected uint64
+	Received uint64
+}
+
+// Fabric is a live simulated network bound to an engine and a topology.
+type Fabric struct {
+	eng *sim.Engine
+	g   *topology.Graph
+	rt  *topology.RoutingTable
+	cfg Config
+	rng *sim.RNG
+
+	// chans[2*linkID+dir]: dir 0 = A->B, dir 1 = B->A.
+	chans        []channel
+	nics         map[topology.NodeID]*NIC
+	groups       []*topology.MulticastTree
+	reduceGroups []*reduceGroup
+
+	nextPktID uint64
+	// TotalDropped counts fabric drops across all channels.
+	TotalDropped uint64
+}
+
+// New builds a fabric over graph g. Routing tables are computed eagerly.
+func New(eng *sim.Engine, g *topology.Graph, cfg Config) *Fabric {
+	cfg = cfg.withDefaults()
+	f := &Fabric{
+		eng:  eng,
+		g:    g,
+		rt:   g.BuildRouting(),
+		cfg:  cfg,
+		rng:  eng.RNG().Split(),
+		nics: make(map[topology.NodeID]*NIC),
+	}
+	f.chans = make([]channel, 2*len(g.Links))
+	for _, l := range g.Links {
+		bwAB, bwBA := cfg.LinkBandwidth, cfg.LinkBandwidth
+		if g.Nodes[l.A].Kind == topology.Host || g.Nodes[l.B].Kind == topology.Host {
+			bwAB, bwBA = cfg.HostLinkBandwidth, cfg.HostLinkBandwidth
+		}
+		f.chans[2*l.ID] = channel{from: l.A, to: l.B, bw: bwAB}
+		f.chans[2*l.ID+1] = channel{from: l.B, to: l.A, bw: bwBA}
+	}
+	return f
+}
+
+// Config returns the effective (defaulted) configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Graph returns the underlying topology.
+func (f *Fabric) Graph() *topology.Graph { return f.g }
+
+// Engine returns the simulation engine driving this fabric.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// AttachNIC registers (or returns the existing) NIC for a host.
+func (f *Fabric) AttachNIC(host topology.NodeID) *NIC {
+	if f.g.Nodes[host].Kind != topology.Host {
+		panic(fmt.Sprintf("fabric: AttachNIC(%d): not a host", host))
+	}
+	if nic, ok := f.nics[host]; ok {
+		return nic
+	}
+	nic := &NIC{Host: host, f: f, groups: make(map[GroupID]bool)}
+	f.nics[host] = nic
+	return nic
+}
+
+// CreateGroup builds a multicast group over members, rooted at the given
+// switch. Use round-robin roots across spines to spread subgroup trees.
+func (f *Fabric) CreateGroup(root topology.NodeID, members []topology.NodeID) (GroupID, error) {
+	mt, err := f.g.BuildMulticastTree(root, members)
+	if err != nil {
+		return NoGroup, err
+	}
+	id := GroupID(len(f.groups))
+	f.groups = append(f.groups, mt)
+	return id, nil
+}
+
+// AttachGroup subscribes a NIC to a multicast group. Only hosts that are
+// members of the group's tree may attach.
+func (n *NIC) AttachGroup(gid GroupID) error {
+	mt := n.f.groups[gid]
+	if !mt.OnTree(n.Host) {
+		return fmt.Errorf("fabric: host %d is not a member of group %d", n.Host, gid)
+	}
+	n.groups[gid] = true
+	return nil
+}
+
+// DetachGroup unsubscribes the NIC. Packets for the group still traverse
+// the tree but are not delivered locally.
+func (n *NIC) DetachGroup(gid GroupID) { delete(n.groups, gid) }
+
+// MaxPayload returns the fabric MTU (maximum packet payload bytes).
+func (f *Fabric) MaxPayload() int { return f.cfg.MTU }
+
+// Inject sends a packet from this NIC and returns the virtual time at which
+// the packet finishes serializing onto the host uplink (the wire time a
+// send completion would be reported by real hardware). The packet's Src is
+// overwritten with the NIC's host. Payload size must not exceed the MTU:
+// segmentation is the transport layer's job, exactly as with real verbs.
+func (n *NIC) Inject(pkt *Packet) sim.Time {
+	if pkt.PayloadBytes > n.f.cfg.MTU {
+		panic(fmt.Sprintf("fabric: payload %d exceeds MTU %d", pkt.PayloadBytes, n.f.cfg.MTU))
+	}
+	if pkt.PayloadBytes < 0 {
+		panic("fabric: negative payload size")
+	}
+	pkt.Src = n.Host
+	pkt.ID = n.f.nextPktID
+	n.f.nextPktID++
+	n.Injected++
+	if pkt.Group != NoGroup {
+		mt := n.f.groups[pkt.Group]
+		if !mt.OnTree(n.Host) {
+			panic(fmt.Sprintf("fabric: host %d multicasting to group %d it is not attached to", n.Host, pkt.Group))
+		}
+	}
+	// The host's single port is port 0; transmit up the host link.
+	return n.f.transmit(pkt, n.Host, 0)
+}
+
+// wireBytes is the link occupancy of the packet.
+func (f *Fabric) wireBytes(pkt *Packet) int { return pkt.PayloadBytes + f.cfg.HeaderBytes }
+
+// transmit serializes pkt onto the channel leaving node via port, then
+// schedules arrival processing at the peer. It returns the serialization
+// completion time on that channel.
+func (f *Fabric) transmit(pkt *Packet, node topology.NodeID, port int) sim.Time {
+	nb := f.g.Adj[node][port]
+	ch := f.channelFor(node, nb.Link)
+	size := f.wireBytes(pkt)
+	serialize := sim.Time(float64(size) / ch.bw * 1e9)
+	start := ch.nextFree
+	if now := f.eng.Now(); start < now {
+		start = now
+	} else if backlog := start - f.eng.Now(); backlog > ch.maxBacklog {
+		ch.maxBacklog = backlog
+	}
+	ch.nextFree = start + serialize
+	ch.stats.Packets++
+	ch.stats.Bytes += uint64(size)
+
+	// Fabric drop: the packet occupies the channel but never arrives.
+	if f.cfg.DropRate > 0 && f.rng.Bernoulli(f.cfg.DropRate) {
+		ch.stats.Drops++
+		f.TotalDropped++
+		return ch.nextFree
+	}
+
+	arrival := ch.nextFree + f.cfg.LinkLatency
+	peer := nb.Peer
+	link := nb.Link
+	f.eng.At(arrival, func() { f.arrive(pkt, peer, link) })
+	return ch.nextFree
+}
+
+// channelFor returns the directed channel leaving `from` over link `link`.
+func (f *Fabric) channelFor(from topology.NodeID, link int) *channel {
+	l := f.g.Links[link]
+	if l.A == from {
+		return &f.chans[2*link]
+	}
+	return &f.chans[2*link+1]
+}
+
+// arrive processes a packet landing at node after crossing link.
+func (f *Fabric) arrive(pkt *Packet, node topology.NodeID, link int) {
+	if f.g.Nodes[node].Kind == topology.Host {
+		f.deliverToHost(pkt, node)
+		return
+	}
+	if pkt.Reduce != NoReduceGroup {
+		f.routeReduce(pkt, node)
+		return
+	}
+	if pkt.Group != NoGroup {
+		f.forwardMulticast(pkt, node, link)
+		return
+	}
+	f.forwardUnicast(pkt, node, link)
+}
+
+func (f *Fabric) forwardUnicast(pkt *Packet, sw topology.NodeID, ingress int) {
+	cands := f.rt.Candidates(sw, pkt.Dst)
+	if len(cands) == 0 {
+		panic(fmt.Sprintf("fabric: switch %d has no route to %d", sw, pkt.Dst))
+	}
+	var port int
+	switch {
+	case len(cands) == 1:
+		port = cands[0]
+	case f.cfg.AdaptiveRouting:
+		port = cands[f.rng.Intn(len(cands))]
+	default:
+		// Deterministic ECMP: hash (flow, src, dst).
+		h := pkt.Flow*0x9E3779B97F4A7C15 + uint64(pkt.Src)*0x517CC1B727220A95 + uint64(pkt.Dst)
+		h ^= h >> 29
+		port = cands[h%uint64(len(cands))]
+	}
+	f.transmit(pkt, sw, port)
+}
+
+func (f *Fabric) forwardMulticast(pkt *Packet, sw topology.NodeID, ingress int) {
+	mt := f.groups[pkt.Group]
+	ports := mt.TreePorts[sw]
+	if len(ports) == 0 {
+		// A multicast packet reached a switch outside the tree: indicates a
+		// tree-construction bug; fail loudly.
+		panic(fmt.Sprintf("fabric: multicast packet for group %d at off-tree switch %d", pkt.Group, sw))
+	}
+	for _, p := range ports {
+		if f.g.Adj[sw][p].Link == ingress {
+			continue // never reflect back toward the sender
+		}
+		f.transmit(pkt, sw, p)
+	}
+}
+
+func (f *Fabric) deliverToHost(pkt *Packet, host topology.NodeID) {
+	nic, ok := f.nics[host]
+	if !ok {
+		return // host without a NIC silently drops (e.g. non-participants)
+	}
+	if pkt.Group != NoGroup && !nic.groups[pkt.Group] {
+		return // on the tree for forwarding reasons but not attached
+	}
+	deliver := func() {
+		nic.Received++
+		if nic.Deliver != nil {
+			nic.Deliver(pkt)
+		}
+	}
+	if j := f.cfg.ReorderJitter; j > 0 {
+		f.eng.After(sim.Time(f.rng.Intn(int(j))), deliver)
+	} else {
+		deliver()
+	}
+}
+
+// --- counters -------------------------------------------------------------
+
+// ChannelStats returns stats for the directed channel from -> to over the
+// first link connecting them.
+func (f *Fabric) ChannelStats(from, to topology.NodeID) PortStats {
+	for li, l := range f.g.Links {
+		if l.A == from && l.B == to {
+			return f.chans[2*li].stats
+		}
+		if l.B == from && l.A == to {
+			return f.chans[2*li+1].stats
+		}
+	}
+	return PortStats{}
+}
+
+// SwitchEgressBytes sums wire bytes transmitted out of every switch port —
+// the quantity the paper measures with switch performance counters in
+// Figure 12 ("traffic across all switch ports").
+func (f *Fabric) SwitchEgressBytes() uint64 {
+	var total uint64
+	for i := range f.chans {
+		ch := &f.chans[i]
+		if f.g.Nodes[ch.from].Kind == topology.Switch {
+			total += ch.stats.Bytes
+		}
+	}
+	return total
+}
+
+// SwitchPortBytes sums traffic over every switch port in both directions —
+// the quantity the paper's Figure 12 reads from the SX6036 performance
+// counters. A channel between two switches crosses two switch ports (one
+// TX, one RX) and counts twice; a host-switch channel counts once.
+func (f *Fabric) SwitchPortBytes() uint64 {
+	var total uint64
+	for i := range f.chans {
+		ch := &f.chans[i]
+		if f.g.Nodes[ch.from].Kind == topology.Switch {
+			total += ch.stats.Bytes
+		}
+		if f.g.Nodes[ch.to].Kind == topology.Switch {
+			total += ch.stats.Bytes
+		}
+	}
+	return total
+}
+
+// TotalWireBytes sums bytes over every channel, including host injection.
+func (f *Fabric) TotalWireBytes() uint64 {
+	var total uint64
+	for i := range f.chans {
+		total += f.chans[i].stats.Bytes
+	}
+	return total
+}
+
+// PerLinkBytes returns the wire bytes per directed channel, keyed by
+// "<from>-><to>#<link>" strings; used by traffic-distribution reports.
+func (f *Fabric) PerLinkBytes() map[string]uint64 {
+	m := make(map[string]uint64, len(f.chans))
+	for i := range f.chans {
+		ch := &f.chans[i]
+		key := fmt.Sprintf("%d->%d#%d", ch.from, ch.to, i/2)
+		m[key] = ch.stats.Bytes
+	}
+	return m
+}
+
+// MaxChannelBytes returns the hottest channel's byte count; the ratio of
+// max to mean indicates load balance across trees/paths.
+func (f *Fabric) MaxChannelBytes() uint64 {
+	var max uint64
+	for i := range f.chans {
+		if b := f.chans[i].stats.Bytes; b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// MaxBacklog returns the worst egress queueing delay observed on any
+// switch port — the congestion signature of simultaneous multicast roots.
+func (f *Fabric) MaxBacklog() sim.Time {
+	var max sim.Time
+	for i := range f.chans {
+		ch := &f.chans[i]
+		if f.g.Nodes[ch.from].Kind == topology.Switch && ch.maxBacklog > max {
+			max = ch.maxBacklog
+		}
+	}
+	return max
+}
+
+// ResetCounters zeroes all channel statistics (between experiment phases).
+func (f *Fabric) ResetCounters() {
+	for i := range f.chans {
+		f.chans[i].stats = PortStats{}
+		f.chans[i].maxBacklog = 0
+	}
+	f.TotalDropped = 0
+	for _, nic := range f.nics {
+		nic.Injected, nic.Received = 0, 0
+	}
+}

@@ -1,0 +1,518 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/coll"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/verbs"
+)
+
+// testbedFabric builds the 188-node UCC-testbed model (or a prefix of it)
+// with the paper's 56 Gbit/s ConnectX-3 links.
+func testbedFabric(seed uint64, linkBw float64) (*sim.Engine, *fabric.Fabric) {
+	eng := sim.NewEngine(seed)
+	g := topology.Testbed188()
+	if linkBw == 0 {
+		linkBw = 7e9 // 56 Gbit/s
+	}
+	f := fabric.New(eng, g, fabric.Config{LinkBandwidth: linkBw})
+	return eng, f
+}
+
+// --- Figure 5: single CPU core vs single DPA core ------------------------------
+
+// Fig5Point compares the two datapaths at one message size.
+type Fig5Point struct {
+	MsgBytes int
+	CPUGbps  float64 // 1-thread host CPU UD datapath (UCX-style)
+	DPAGbps  float64 // 1-core (16-thread) DPA UD datapath
+	LinkGbps float64
+}
+
+// Fig5SingleCore sweeps message sizes on a 200 Gbit/s back-to-back link.
+func Fig5SingleCore(sizes []int) []Fig5Point {
+	var out []Fig5Point
+	for _, n := range sizes {
+		cpu := RunRxBench(RxBenchConfig{
+			Transport: verbs.UD, Workers: 1, ChunkBytes: 4096, TotalBytes: n, OnCPU: true,
+		})
+		dpaW := 16
+		dpaRes := RunRxBench(RxBenchConfig{
+			Transport: verbs.UD, Workers: dpaW, ChunkBytes: 4096, TotalBytes: n,
+		})
+		out = append(out, Fig5Point{
+			MsgBytes: n, CPUGbps: cpu.Gbps, DPAGbps: dpaRes.Gbps, LinkGbps: cpu.LinkGbps,
+		})
+	}
+	return out
+}
+
+// --- Table I: single-thread DPA metrics ----------------------------------------
+
+// Table1Row reproduces one row of Table I.
+type Table1Row struct {
+	Datapath        string
+	ThroughputGiBps float64
+	InstructionsCQE int
+	CyclesCQE       int
+	IPC             float64
+}
+
+// Table1SingleThread measures both datapaths with one DPA thread, 8 MiB
+// buffer, 4 KiB chunks.
+func Table1SingleThread() []Table1Row {
+	var rows []Table1Row
+	for _, tr := range []verbs.Transport{verbs.UC, verbs.UD} {
+		r := RunRxBench(RxBenchConfig{Transport: tr, Workers: 1, ChunkBytes: 4096, TotalBytes: 8 << 20})
+		rows = append(rows, Table1Row{
+			Datapath:        tr.String(),
+			ThroughputGiBps: r.GiBps,
+			InstructionsCQE: r.Profile.IssueCycles,
+			CyclesCQE:       r.Profile.LatencyCycles,
+			IPC:             r.IPC,
+		})
+	}
+	return rows
+}
+
+// --- Figures 13/14: DPA thread scaling -----------------------------------------
+
+// ScalingPoint is one (transport, threads) measurement.
+type ScalingPoint struct {
+	Transport  string
+	Threads    int
+	ChunkBytes int
+	GiBps      float64
+	Gbps       float64
+	ChunkRate  float64
+	LinkShare  float64
+}
+
+// Fig13ThreadScaling sweeps DPA worker threads for the UD and UC
+// datapaths (8 MiB buffer, 4 KiB chunks) plus the single-thread CPU
+// baseline, as in Figure 13.
+func Fig13ThreadScaling(threadCounts []int) ([]ScalingPoint, ScalingPoint) {
+	type job struct {
+		tr verbs.Transport
+		w  int
+	}
+	var jobs []job
+	for _, tr := range []verbs.Transport{verbs.UD, verbs.UC} {
+		for _, w := range threadCounts {
+			jobs = append(jobs, job{tr, w})
+		}
+	}
+	pts, _ := parallelMap(len(jobs), func(i int) (ScalingPoint, error) {
+		j := jobs[i]
+		r := RunRxBench(RxBenchConfig{Transport: j.tr, Workers: j.w, ChunkBytes: 4096, TotalBytes: 8 << 20})
+		return ScalingPoint{
+			Transport: j.tr.String(), Threads: j.w, ChunkBytes: 4096,
+			GiBps: r.GiBps, Gbps: r.Gbps, ChunkRate: r.ChunkRate, LinkShare: r.LinkShare,
+		}, nil
+	})
+	cpu := RunRxBench(RxBenchConfig{Transport: verbs.UD, Workers: 1, ChunkBytes: 4096, TotalBytes: 8 << 20, OnCPU: true})
+	baseline := ScalingPoint{
+		Transport: "CPU-UD", Threads: 1, ChunkBytes: 4096,
+		GiBps: cpu.GiBps, Gbps: cpu.Gbps, ChunkRate: cpu.ChunkRate, LinkShare: cpu.LinkShare,
+	}
+	return pts, baseline
+}
+
+// --- Figure 15: UC multi-packet chunks ------------------------------------------
+
+// Fig15ChunkSize sweeps the UC chunk size for several thread counts
+// (8 MiB buffer): larger chunks mean fewer CQEs, so fewer threads reach
+// line rate.
+func Fig15ChunkSize(chunkSizes, threadCounts []int) []ScalingPoint {
+	var pts []ScalingPoint
+	for _, cs := range chunkSizes {
+		for _, w := range threadCounts {
+			r := RunRxBench(RxBenchConfig{Transport: verbs.UC, Workers: w, ChunkBytes: cs, TotalBytes: 8 << 20})
+			pts = append(pts, ScalingPoint{
+				Transport: "UC", Threads: w, ChunkBytes: cs,
+				GiBps: r.GiBps, Gbps: r.Gbps, ChunkRate: r.ChunkRate, LinkShare: r.LinkShare,
+			})
+		}
+	}
+	return pts
+}
+
+// --- Figure 16: Tbit/s chunk-rate scaling ---------------------------------------
+
+// Tbit16Target is the chunk processing rate equivalent to a 1.6 Tbit/s
+// link with 4 KiB MTU packets: the horizontal target line of Figure 16.
+const Tbit16Target = 1.6e12 / 8 / 4096 // chunks/second
+
+// Fig16TbitScaling sweeps thread counts with 64-byte chunks, matching the
+// arrival rate of a future 1.6 Tbit/s link (§VII).
+func Fig16TbitScaling(threadCounts []int) []ScalingPoint {
+	type job struct {
+		tr verbs.Transport
+		w  int
+	}
+	var jobs []job
+	for _, tr := range []verbs.Transport{verbs.UD, verbs.UC} {
+		for _, w := range threadCounts {
+			jobs = append(jobs, job{tr, w})
+		}
+	}
+	pts, _ := parallelMap(len(jobs), func(i int) (ScalingPoint, error) {
+		j := jobs[i]
+		// Volume scales with threads to keep per-thread work meaningful
+		// while bounding event counts.
+		total := 256 * 1024 * j.w
+		r := RunRxBench(RxBenchConfig{Transport: j.tr, Workers: j.w, ChunkBytes: 64, TotalBytes: total})
+		return ScalingPoint{
+			Transport: j.tr.String(), Threads: j.w, ChunkBytes: 64,
+			GiBps: r.GiBps, Gbps: r.Gbps, ChunkRate: r.ChunkRate,
+			LinkShare: r.ChunkRate / Tbit16Target,
+		}, nil
+	})
+	return pts
+}
+
+// --- Figure 10: protocol critical-path breakdown --------------------------------
+
+// BreakdownPoint aggregates the phase breakdown across ranks for one
+// (nodes, size) cell of Figure 10.
+type BreakdownPoint struct {
+	Nodes       int
+	MsgBytes    int
+	BarrierFrac float64
+	McastFrac   float64
+	FinalFrac   float64
+	Total       sim.Time
+}
+
+// Fig10Breakdown runs the multicast Allgather at several scales and
+// message sizes on the testbed model and reports median phase fractions.
+func Fig10Breakdown(nodeCounts, sizes []int) ([]BreakdownPoint, error) {
+	var out []BreakdownPoint
+	for _, p := range nodeCounts {
+		for _, n := range sizes {
+			eng, f := testbedFabric(uint64(p)<<20|uint64(n), 0)
+			hosts := f.Graph().Hosts()
+			if p > len(hosts) {
+				return nil, fmt.Errorf("harness: %d nodes exceed testbed", p)
+			}
+			comm, err := core.NewCommunicator(f, hosts[:p], core.Config{Transport: verbs.UD})
+			if err != nil {
+				return nil, err
+			}
+			res, err := comm.RunAllgather(n)
+			if err != nil {
+				return nil, err
+			}
+			var bar, mc, fin, tot []float64
+			for _, s := range res.PerRank {
+				total := float64(s.Total)
+				if total == 0 {
+					continue
+				}
+				bar = append(bar, float64(s.BarrierTime)/total)
+				mc = append(mc, float64(s.McastTime)/total)
+				fin = append(fin, float64(s.FinalTime)/total)
+				tot = append(tot, total)
+			}
+			out = append(out, BreakdownPoint{
+				Nodes: p, MsgBytes: n,
+				BarrierFrac: stats.Summarize(bar).Median,
+				McastFrac:   stats.Summarize(mc).Median,
+				FinalFrac:   stats.Summarize(fin).Median,
+				Total:       sim.Time(stats.Summarize(tot).Median),
+			})
+			_ = eng
+		}
+	}
+	return out, nil
+}
+
+// --- Figure 11: throughput at scale ----------------------------------------------
+
+// Fig11Point is one (operation, algorithm, size) measurement.
+type Fig11Point struct {
+	Op       string // "broadcast" or "allgather"
+	Algo     string
+	MsgBytes int
+	GiBps    float64 // per-rank receive throughput
+}
+
+// Fig11Throughput measures the multicast collectives against their P2P
+// baselines at the given node count (paper: 188) over a size sweep. The
+// independent simulations run in parallel across OS threads.
+func Fig11Throughput(nodes int, sizes []int) ([]Fig11Point, error) {
+	type job struct {
+		op, algo string
+		n        int
+	}
+	var jobs []job
+	for _, n := range sizes {
+		jobs = append(jobs,
+			job{"broadcast", "mcast-broadcast", n},
+			job{"broadcast", "knomial-broadcast", n},
+			job{"broadcast", "binary-broadcast", n},
+			job{"broadcast", "chain-broadcast", n},
+			job{"allgather", "mcast-allgather", n},
+			job{"allgather", "ring-allgather", n},
+		)
+	}
+	pts, err := parallelMap(len(jobs), func(i int) (Fig11Point, error) {
+		j := jobs[i]
+		_, f := testbedFabric(uint64(j.n)+uint64(i), 0)
+		hosts := f.Graph().Hosts()[:nodes]
+		var bw float64
+		switch j.algo {
+		case "mcast-broadcast", "mcast-allgather":
+			comm, err := core.NewCommunicator(f, hosts, core.Config{Transport: verbs.UD})
+			if err != nil {
+				return Fig11Point{}, err
+			}
+			var res *core.Result
+			if j.op == "broadcast" {
+				res, err = comm.RunBroadcast(0, j.n)
+			} else {
+				res, err = comm.RunAllgather(j.n)
+			}
+			if err != nil {
+				return Fig11Point{}, err
+			}
+			bw = res.AlgBandwidth()
+		default:
+			cfg := coll.Config{}
+			if j.algo == "chain-broadcast" {
+				cfg.ChunkBytes = 16 << 10
+			}
+			team, err := coll.NewTeamOn(f, hosts, cfg)
+			if err != nil {
+				return Fig11Point{}, err
+			}
+			var res *coll.Result
+			switch j.algo {
+			case "knomial-broadcast":
+				res, err = team.RunKnomialBroadcast(0, j.n)
+			case "binary-broadcast":
+				res, err = team.RunBinaryTreeBroadcast(0, j.n)
+			case "chain-broadcast":
+				res, err = team.RunChainBroadcast(0, j.n)
+			case "ring-allgather":
+				res, err = team.RunRingAllgather(j.n)
+			}
+			if err != nil {
+				return Fig11Point{}, err
+			}
+			bw = res.AlgBandwidth()
+		}
+		return Fig11Point{Op: j.op, Algo: j.algo, MsgBytes: j.n, GiBps: bw / (1 << 30)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// --- Figure 12: switch traffic savings --------------------------------------------
+
+// Fig12Row records switch-port counter totals for one algorithm.
+type Fig12Row struct {
+	Op          string
+	Algo        string
+	SwitchBytes uint64
+	// Savings is P2P bytes / multicast bytes for the same operation.
+	Savings float64
+}
+
+// Fig12Traffic runs broadcast and allgather with multicast and P2P
+// algorithms on the testbed model, reading the switch-port counters as the
+// paper does (64 KiB messages, iters iterations).
+func Fig12Traffic(nodes, msgBytes, iters int) ([]Fig12Row, error) {
+	type runner func(f *fabric.Fabric) error
+	measure := func(name string, r runner) (uint64, error) {
+		eng, f := testbedFabric(77, 0)
+		_ = eng
+		// One warmup, then reset counters and measure iters iterations.
+		if err := r(f); err != nil {
+			return 0, fmt.Errorf("%s warmup: %w", name, err)
+		}
+		f.ResetCounters()
+		for i := 0; i < iters; i++ {
+			if err := r(f); err != nil {
+				return 0, fmt.Errorf("%s iter %d: %w", name, i, err)
+			}
+		}
+		return f.SwitchPortBytes(), nil
+	}
+
+	var mcastComm *core.Communicator
+	mcastRun := func(kind string) runner {
+		return func(f *fabric.Fabric) error {
+			if mcastComm == nil || mcastComm.Engine() != f.Engine() {
+				var err error
+				mcastComm, err = core.NewCommunicator(f, f.Graph().Hosts()[:nodes], core.Config{Transport: verbs.UD})
+				if err != nil {
+					return err
+				}
+			}
+			if kind == "broadcast" {
+				_, err := mcastComm.RunBroadcast(0, msgBytes)
+				return err
+			}
+			_, err := mcastComm.RunAllgather(msgBytes)
+			return err
+		}
+	}
+	var team *coll.Team
+	teamRun := func(kind string) runner {
+		return func(f *fabric.Fabric) error {
+			if team == nil || team.Engine() != f.Engine() {
+				var err error
+				team, err = coll.NewTeamOn(f, f.Graph().Hosts()[:nodes], coll.Config{})
+				if err != nil {
+					return err
+				}
+			}
+			if kind == "broadcast" {
+				_, err := team.RunKnomialBroadcast(0, msgBytes)
+				return err
+			}
+			_, err := team.RunRingAllgather(msgBytes)
+			return err
+		}
+	}
+
+	mcB, err := measure("mcast-broadcast", mcastRun("broadcast"))
+	if err != nil {
+		return nil, err
+	}
+	mcastComm = nil
+	p2pB, err := measure("knomial-broadcast", teamRun("broadcast"))
+	if err != nil {
+		return nil, err
+	}
+	team = nil
+	mcA, err := measure("mcast-allgather", mcastRun("allgather"))
+	if err != nil {
+		return nil, err
+	}
+	mcastComm = nil
+	p2pA, err := measure("ring-allgather", teamRun("allgather"))
+	if err != nil {
+		return nil, err
+	}
+
+	return []Fig12Row{
+		{Op: "broadcast", Algo: "mcast", SwitchBytes: mcB, Savings: float64(p2pB) / float64(mcB)},
+		{Op: "broadcast", Algo: "knomial", SwitchBytes: p2pB, Savings: 1},
+		{Op: "allgather", Algo: "mcast", SwitchBytes: mcA, Savings: float64(p2pA) / float64(mcA)},
+		{Op: "allgather", Algo: "ring", SwitchBytes: p2pA, Savings: 1},
+	}, nil
+}
+
+// --- Appendix B: concurrent {AG, RS} ----------------------------------------------
+
+// AppBPoint compares the two concurrent-collective configurations at one
+// scale.
+type AppBPoint struct {
+	P        int
+	RingPair sim.Time // {AG_ring, RS_ring} completion
+	IncPair  sim.Time // {AG_mcast, RS_inc} completion
+	Speedup  float64
+	Model    float64 // 2 - 2/P
+}
+
+// AppBConcurrent measures both configurations with per-rank buffer n on a
+// star fabric (full-bandwidth, as Appendix B assumes).
+func AppBConcurrent(ps []int, n int) ([]AppBPoint, error) {
+	var out []AppBPoint
+	for _, p := range ps {
+		// Configuration 1: ring AG + ring RS sharing NICs.
+		eng := sim.NewEngine(uint64(p))
+		g := topology.Star(p)
+		f := fabric.New(eng, g, fabric.Config{})
+		cl := cluster.New(f, cluster.Config{})
+		agT, err := coll.NewTeam(cl, g.Hosts(), coll.Config{})
+		if err != nil {
+			return nil, err
+		}
+		rsT, err := coll.NewTeam(cl, g.Hosts(), coll.Config{})
+		if err != nil {
+			return nil, err
+		}
+		var agR, rsR *coll.Result
+		if err := agT.StartRingAllgather(n, func(r *coll.Result) { agR = r }); err != nil {
+			return nil, err
+		}
+		if err := rsT.StartRingReduceScatter(n, func(r *coll.Result) { rsR = r }); err != nil {
+			return nil, err
+		}
+		eng.Run()
+		if agR == nil || rsR == nil {
+			return nil, fmt.Errorf("harness: ring pair did not complete at P=%d", p)
+		}
+		ringPair := maxTime(agR.End, rsR.End) - minTime(agR.Start, rsR.Start)
+
+		// Configuration 2: multicast AG + INC RS.
+		eng2 := sim.NewEngine(uint64(p) + 1)
+		g2 := topology.Star(p)
+		f2 := fabric.New(eng2, g2, fabric.Config{})
+		cl2 := cluster.New(f2, cluster.Config{})
+		// All chains run concurrently: with the send path otherwise consumed
+		// by the Reduce-Scatter stream, spreading each root's injection over
+		// the whole operation (multicast parallelism, §IV-A) is what lets
+		// the Allgather live on the receive path alone.
+		comm, err := core.NewCommunicatorOn(cl2, g2.Hosts(), core.Config{Transport: verbs.UD, Chains: p, Subgroups: 4})
+		if err != nil {
+			return nil, err
+		}
+		rsT2, err := coll.NewTeam(cl2, g2.Hosts(), coll.Config{})
+		if err != nil {
+			return nil, err
+		}
+		rg, err := f2.CreateReduceGroup(g2.Switches()[0], g2.Hosts())
+		if err != nil {
+			return nil, err
+		}
+		var agR2 *core.Result
+		var rsR2 *coll.Result
+		if err := comm.StartAllgather(n, func(r *core.Result) { agR2 = r }); err != nil {
+			return nil, err
+		}
+		if err := rsT2.StartINCReduceScatter(rg, n, func(r *coll.Result) { rsR2 = r }); err != nil {
+			return nil, err
+		}
+		eng2.Run()
+		if agR2 == nil || rsR2 == nil {
+			return nil, fmt.Errorf("harness: INC pair did not complete at P=%d", p)
+		}
+		incPair := maxTime(agR2.End, rsR2.End) - minTime(agR2.Start, rsR2.Start)
+
+		out = append(out, AppBPoint{
+			P:        p,
+			RingPair: ringPair,
+			IncPair:  incPair,
+			Speedup:  float64(ringPair) / float64(incPair),
+			Model:    model.SpeedupINC(p),
+		})
+	}
+	return out, nil
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minTime(a, b sim.Time) sim.Time {
+	if a < b {
+		return a
+	}
+	return b
+}

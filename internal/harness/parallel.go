@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMap runs fn over every index in [0, n) across GOMAXPROCS worker
+// goroutines and collects the results in order. Each fn invocation builds
+// its own simulation engine, so experiments parallelize perfectly across
+// OS threads — the wall-clock win of running many deterministic
+// single-threaded simulations side by side.
+//
+// The first error wins; remaining work still completes (simulations are
+// cheap to finish and aborting mid-engine has no benefit).
+func parallelMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

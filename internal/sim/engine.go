@@ -1,0 +1,203 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate for every other subsystem in this repository:
+// the packet-level fabric, the verbs transport layer, the collective
+// protocol state machines, and the DPA execution model all advance virtual
+// time exclusively through events scheduled here.
+//
+// The engine is intentionally single-threaded: determinism (same seed, same
+// schedule, same results, bit for bit) is worth far more to a reproduction
+// study than intra-simulation parallelism. Benchmarks that need wall-clock
+// parallelism run many independent Engine instances concurrently.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is virtual simulation time in nanoseconds. Using a dedicated type
+// (rather than time.Duration) keeps virtual and wall-clock time from being
+// confused at call sites.
+type Time int64
+
+// Common durations expressed in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the latest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// Duration converts a virtual time span to a time.Duration for reporting.
+func (t Time) Duration() time.Duration { return time.Duration(int64(t)) }
+
+// Seconds returns the virtual time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns the virtual time as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string { return t.Duration().String() }
+
+// Event is a scheduled callback. Events are ordered by time; ties are broken
+// by insertion sequence so the execution order of simultaneous events is
+// deterministic and FIFO with respect to scheduling order.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // heap index; -1 once popped or cancelled
+	fn       func()
+	canceled bool
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator instance. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	rng     *RNG
+	stopped bool
+
+	// Executed counts events that have fired, for diagnostics and for
+	// guarding against runaway simulations in tests.
+	Executed uint64
+}
+
+// NewEngine returns an engine with virtual time 0 and a deterministic RNG
+// seeded with seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random number generator.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: that is always a protocol-logic bug, and silently clamping would
+// mask it.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Stop makes the current Run/RunUntil call return after the in-flight event
+// completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step fires the next event. It returns false when the queue is empty.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: event queue time went backwards")
+		}
+		e.now = ev.at
+		e.Executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// the final virtual time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with firing time <= deadline. Events scheduled
+// beyond the deadline remain queued. The clock is advanced to the deadline
+// if the simulation ran dry before reaching it, which keeps successive
+// RunUntil calls monotonic.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		// Peek: the heap root is the earliest event.
+		if e.queue[0].at > deadline {
+			break
+		}
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// RunFor advances the simulation by d nanoseconds of virtual time.
+func (e *Engine) RunFor(d Time) Time { return e.RunUntil(e.now + d) }

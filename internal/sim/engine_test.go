@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine(1)
+	if e.Now() != 0 {
+		t.Fatalf("new engine Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(42, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of scheduling order: pos %d got %d", i, v)
+		}
+	}
+}
+
+func TestAfterAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.After(5*Microsecond, func() { at = e.Now() })
+	e.Run()
+	if at != 5*Microsecond {
+		t.Fatalf("event fired at %v, want 5µs", at)
+	}
+	if e.Now() != 5*Microsecond {
+		t.Fatalf("final time %v, want 5µs", e.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var times []Time
+	e.At(10, func() {
+		times = append(times, e.Now())
+		e.After(15, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 25 {
+		t.Fatalf("times = %v, want [10 25]", times)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(20, func() { fired = true })
+	e.At(10, func() { ev.Cancel() })
+	e.Run()
+	if fired {
+		t.Fatal("event cancelled at t=10 still fired at t=20")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10 and 20 only", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now() = %v after RunUntil(25)", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("remaining events did not fire: %v", fired)
+	}
+}
+
+func TestRunUntilAdvancesClockWhenIdle(t *testing.T) {
+	e := NewEngine(1)
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100", e.Now())
+	}
+	// Monotonic across successive calls.
+	e.RunUntil(50)
+	if e.Now() != 100 {
+		t.Fatalf("RunUntil moved the clock backwards to %v", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.At(10, func() { count++; e.Stop() })
+	e.At(20, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("Stop did not halt the run: count = %d", count)
+	}
+	e.Run() // resumes
+	if count != 2 {
+		t.Fatalf("second Run did not resume: count = %d", count)
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 7; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	if e.Executed != 7 {
+		t.Fatalf("Executed = %d, want 7", e.Executed)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine(12345)
+		var fired []Time
+		var schedule func()
+		n := 0
+		schedule = func() {
+			if n >= 50 {
+				return
+			}
+			n++
+			d := Time(e.RNG().Intn(1000) + 1)
+			e.After(d, func() {
+				fired = append(fired, e.Now())
+				schedule()
+			})
+		}
+		schedule()
+		e.Run()
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if (2 * Second).Seconds() != 2.0 {
+		t.Errorf("Seconds() = %v", (2 * Second).Seconds())
+	}
+	if (3 * Microsecond).Micros() != 3.0 {
+		t.Errorf("Micros() = %v", (3 * Microsecond).Micros())
+	}
+	if Millisecond.Duration().Milliseconds() != 1 {
+		t.Errorf("Duration() = %v", Millisecond.Duration())
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// the scheduling pattern.
+func TestPropertyMonotonicFiring(t *testing.T) {
+	f := func(delays []uint16, seed uint64) bool {
+		e := NewEngine(seed)
+		var fired []Time
+		for _, d := range delays {
+			e.After(Time(d), func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced degenerate stream")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(99)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGBernoulliExtremes(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestRNGBernoulliRate(t *testing.T) {
+	r := NewRNG(11)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.23 || rate > 0.27 {
+		t.Fatalf("Bernoulli(0.25) empirical rate %v", rate)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := int(seed%64) + 1
+		p := NewRNG(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(42)
+	child := parent.Split()
+	// The child stream must not be identical to the parent's continuation.
+	same := true
+	for i := 0; i < 16; i++ {
+		if parent.Uint64() != child.Uint64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("Split produced a correlated stream")
+	}
+}

@@ -1,0 +1,354 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoLevelFatTreeShape(t *testing.T) {
+	g, err := TwoLevelFatTree(FatTreeSpec{Hosts: 8, HostsPerLeaf: 4, Spines: 2, TrunkLinks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Hosts()); got != 8 {
+		t.Errorf("hosts = %d, want 8", got)
+	}
+	if got := len(g.Switches()); got != 4 { // 2 leaves + 2 spines
+		t.Errorf("switches = %d, want 4", got)
+	}
+	// links: 8 host links + 2 leaves * 2 spines = 12
+	if got := len(g.Links); got != 12 {
+		t.Errorf("links = %d, want 12", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoLevelFatTreeInvalidSpec(t *testing.T) {
+	for _, spec := range []FatTreeSpec{
+		{Hosts: 0, HostsPerLeaf: 4, Spines: 2},
+		{Hosts: 8, HostsPerLeaf: 0, Spines: 2},
+		{Hosts: 8, HostsPerLeaf: 4, Spines: 0},
+	} {
+		if _, err := TwoLevelFatTree(spec); err == nil {
+			t.Errorf("spec %+v accepted, want error", spec)
+		}
+	}
+}
+
+func TestTestbed188(t *testing.T) {
+	g := Testbed188()
+	if got := len(g.Hosts()); got != 188 {
+		t.Errorf("hosts = %d, want 188", got)
+	}
+	if got := len(g.Switches()); got != 18 {
+		t.Errorf("switches = %d, want 18 (paper: 18 SX6036)", got)
+	}
+	// Radix check: no switch may exceed 36 ports (SX6036).
+	for _, sw := range g.Switches() {
+		if p := g.NumPorts(sw); p > 36 {
+			t.Errorf("switch %d has %d ports, exceeds radix 36", sw, p)
+		}
+	}
+}
+
+func TestThreeLevelFatTree(t *testing.T) {
+	g, err := ThreeLevelFatTree(4, 16) // full k=4 tree: 16 hosts, 20 switches
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Hosts()); got != 16 {
+		t.Errorf("hosts = %d, want 16", got)
+	}
+	if got := len(g.Switches()); got != 20 { // 4 cores + 4 pods * (2+2)
+		t.Errorf("switches = %d, want 20", got)
+	}
+}
+
+func TestThreeLevelFatTreePartial(t *testing.T) {
+	g, err := ThreeLevelFatTree(4, 5) // 2 pods needed (4 hosts/pod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Hosts()); got != 5 {
+		t.Errorf("hosts = %d, want 5", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreeLevelFatTreeRejectsOddRadix(t *testing.T) {
+	if _, err := ThreeLevelFatTree(5, 10); err == nil {
+		t.Error("odd radix accepted")
+	}
+	if _, err := ThreeLevelFatTree(4, 17); err == nil {
+		t.Error("too many hosts accepted")
+	}
+}
+
+func TestBackToBack(t *testing.T) {
+	g := BackToBack()
+	if len(g.Hosts()) != 2 || len(g.Switches()) != 1 {
+		t.Fatalf("back-to-back shape wrong: %d hosts %d switches", len(g.Hosts()), len(g.Switches()))
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(5)
+	if len(g.Hosts()) != 5 || len(g.Switches()) != 1 {
+		t.Fatal("star shape wrong")
+	}
+	for _, h := range g.Hosts() {
+		if g.LeafOf(h) != 0 {
+			t.Fatalf("host %d leaf = %d", h, g.LeafOf(h))
+		}
+	}
+}
+
+func TestLeafOfPanicsOnSwitch(t *testing.T) {
+	g := Star(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("LeafOf(switch) did not panic")
+		}
+	}()
+	g.LeafOf(0) // node 0 is the switch
+}
+
+func TestPortToward(t *testing.T) {
+	g := Star(3)
+	sw := g.Switches()[0]
+	for _, h := range g.Hosts() {
+		p := g.PortToward(sw, h)
+		if p < 0 || g.Adj[sw][p].Peer != h {
+			t.Fatalf("PortToward(%d,%d) = %d", sw, h, p)
+		}
+		if g.PortToward(h, sw) != 0 {
+			t.Fatalf("host uplink port != 0")
+		}
+	}
+	if g.PortToward(1, 2) != -1 {
+		t.Fatal("non-adjacent nodes reported a port")
+	}
+}
+
+func TestRoutingReachesEveryHost(t *testing.T) {
+	g := Testbed188()
+	rt := g.BuildRouting()
+	hosts := g.Hosts()
+	for _, sw := range g.Switches() {
+		for _, dst := range hosts {
+			cands := rt.Candidates(sw, dst)
+			if len(cands) == 0 {
+				t.Fatalf("switch %d has no route to host %d", sw, dst)
+			}
+			for _, p := range cands {
+				if p < 0 || p >= g.NumPorts(sw) {
+					t.Fatalf("switch %d candidate port %d out of range", sw, p)
+				}
+			}
+		}
+	}
+}
+
+func TestRoutingFollowsShortestPath(t *testing.T) {
+	g, err := TwoLevelFatTree(FatTreeSpec{Hosts: 8, HostsPerLeaf: 4, Spines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := g.BuildRouting()
+	hosts := g.Hosts()
+	// From each host's leaf, walk candidate ports to the destination and
+	// count hops; same-leaf pairs must take 2 hops (host-leaf-host),
+	// cross-leaf 4 (host-leaf-spine-leaf-host).
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			hops := 0
+			cur := g.LeafOf(src)
+			for cur != dst {
+				cands := rt.Candidates(cur, dst)
+				if len(cands) == 0 {
+					t.Fatalf("no route %d->%d at %d", src, dst, cur)
+				}
+				cur = g.Adj[cur][cands[0]].Peer
+				hops++
+				if hops > 10 {
+					t.Fatalf("routing loop %d->%d", src, dst)
+				}
+			}
+			sameLeaf := g.LeafOf(src) == g.LeafOf(dst)
+			want := 1
+			if !sameLeaf {
+				want = 3 // leaf -> spine -> leaf -> host
+			}
+			if hops != want {
+				t.Fatalf("%d->%d took %d switch hops, want %d", src, dst, hops, want)
+			}
+		}
+	}
+}
+
+func TestRoutingMultipath(t *testing.T) {
+	g, err := TwoLevelFatTree(FatTreeSpec{Hosts: 8, HostsPerLeaf: 4, Spines: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := g.BuildRouting()
+	// A leaf routing to a host on the *other* leaf must see all 4 spines as
+	// candidates.
+	leaf0 := g.LeafOf(g.Hosts()[0])
+	otherHost := g.Hosts()[7]
+	if g.LeafOf(otherHost) == leaf0 {
+		t.Fatal("test setup wrong: hosts share a leaf")
+	}
+	if got := len(rt.Candidates(leaf0, otherHost)); got != 4 {
+		t.Fatalf("cross-leaf candidates = %d, want 4 (one per spine)", got)
+	}
+}
+
+func TestMulticastTreeStar(t *testing.T) {
+	g := Star(4)
+	sw := g.Switches()[0]
+	members := g.Hosts()[:3]
+	mt, err := g.BuildMulticastTree(sw, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mt.TreePorts[sw]) != 3 {
+		t.Fatalf("switch tree ports = %v, want 3 entries", mt.TreePorts[sw])
+	}
+	if mt.OnTree(g.Hosts()[3]) {
+		t.Fatal("non-member host on tree")
+	}
+	for _, m := range members {
+		if !mt.OnTree(m) {
+			t.Fatalf("member %d not on tree", m)
+		}
+	}
+}
+
+func TestMulticastTreeSpansFatTree(t *testing.T) {
+	g := Testbed188()
+	hosts := g.Hosts()
+	spine := g.Switches()[12] // first spine (leaves are 0..11)
+	if g.Nodes[spine].Level != 2 {
+		t.Fatalf("node %d not a spine", spine)
+	}
+	mt, err := g.BuildMulticastTree(spine, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every member must be able to reach the root through tree ports.
+	for _, m := range hosts {
+		cur := m
+		steps := 0
+		for cur != spine {
+			ports := mt.TreePorts[cur]
+			if len(ports) == 0 {
+				t.Fatalf("member %d stranded at %d", m, cur)
+			}
+			// Move along the port whose peer is closer to the root: on a
+			// tree walk up, that is the unique port not leading to where we
+			// came from; for hosts it is port 0.
+			next := NodeID(-1)
+			for _, p := range ports {
+				peer := g.Adj[cur][p].Peer
+				if g.Nodes[peer].Level > g.Nodes[cur].Level {
+					next = peer
+					break
+				}
+			}
+			if next < 0 {
+				t.Fatalf("no upward tree port at node %d (member %d)", cur, m)
+			}
+			cur = next
+			if steps++; steps > 5 {
+				t.Fatalf("tree walk from %d did not reach root", m)
+			}
+		}
+	}
+}
+
+func TestMulticastTreeDeduplicatesMembers(t *testing.T) {
+	g := Star(3)
+	h := g.Hosts()[0]
+	mt, err := g.BuildMulticastTree(g.Switches()[0], []NodeID{h, h, h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mt.Members) != 1 {
+		t.Fatalf("members = %v, want single entry", mt.Members)
+	}
+}
+
+func TestMulticastTreeErrors(t *testing.T) {
+	g := Star(3)
+	if _, err := g.BuildMulticastTree(g.Hosts()[0], g.Hosts()); err == nil {
+		t.Error("host as root accepted")
+	}
+	if _, err := g.BuildMulticastTree(g.Switches()[0], nil); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := g.BuildMulticastTree(g.Switches()[0], []NodeID{0}); err == nil {
+		t.Error("switch as member accepted")
+	}
+}
+
+// Property: for random two-level fat-trees, every multicast tree connects
+// all members with each node's tree ports forming a connected subgraph.
+func TestPropertyMulticastTreeConnects(t *testing.T) {
+	f := func(hostsRaw, spinesRaw uint8, rootPick uint8) bool {
+		hosts := int(hostsRaw%30) + 2
+		spines := int(spinesRaw%4) + 1
+		g, err := TwoLevelFatTree(FatTreeSpec{Hosts: hosts, HostsPerLeaf: 4, Spines: spines})
+		if err != nil {
+			return false
+		}
+		sws := g.Switches()
+		root := sws[int(rootPick)%len(sws)]
+		mt, err := g.BuildMulticastTree(root, g.Hosts())
+		if err != nil {
+			return false
+		}
+		// BFS over tree edges from root must reach every member.
+		seen := map[NodeID]bool{root: true}
+		queue := []NodeID{root}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, p := range mt.TreePorts[n] {
+				peer := g.Adj[n][p].Peer
+				if !mt.OnTree(peer) {
+					return false // tree edge leads off-tree
+				}
+				if !seen[peer] {
+					seen[peer] = true
+					queue = append(queue, peer)
+				}
+			}
+		}
+		for _, m := range mt.Members {
+			if !seen[m] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateDetectsDisconnected(t *testing.T) {
+	g := newGraph()
+	g.addNode(Switch, 1, "a")
+	g.addNode(Switch, 1, "b") // never linked
+	if err := g.Validate(); err == nil {
+		t.Error("disconnected graph passed validation")
+	}
+}

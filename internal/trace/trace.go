@@ -1,0 +1,107 @@
+// Package trace records protocol-level events from the collective state
+// machines — the execution-flow view of the paper's Figure 9 (task posting,
+// RNR synchronization, multicast start/finish per rank, recovery actions,
+// final handshake). Recorders are attached through core.Config and add no
+// cost to the simulated timing; they exist for debugging, for tests that
+// assert schedule properties, and for rendering timelines.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Phase names used by the core protocol. Consumers match on these.
+const (
+	PhaseDispatch   = "dispatch"    // task handed to the app thread
+	PhaseBarrier    = "barrier"     // RNR synchronization complete
+	PhaseTxStart    = "tx-start"    // multicast injection begins (root)
+	PhaseTxDone     = "tx-done"     // all chunks posted and on the wire
+	PhaseActivate   = "activate"    // chain token passed to the successor
+	PhaseRxDone     = "rx-done"     // every chunk present, copies drained
+	PhaseRecovery   = "recovery"    // cutoff fired; fetch request sent
+	PhaseFetchServe = "fetch-serve" // served (part of) a neighbor's request
+	PhaseFinal      = "final"       // handshake sent to the left neighbor
+	PhaseDone       = "done"        // operation complete at this rank
+)
+
+// Event is one recorded protocol transition.
+type Event struct {
+	T      sim.Time
+	Rank   int
+	Seq    int // operation sequence number
+	Phase  string
+	Detail string
+}
+
+// Recorder accumulates events. The zero value is ready to use. A nil
+// *Recorder is valid and records nothing, so call sites need no guards.
+type Recorder struct {
+	Events []Event
+}
+
+// Record appends an event. Safe on a nil receiver.
+func (r *Recorder) Record(t sim.Time, rank, seq int, phase, detail string) {
+	if r == nil {
+		return
+	}
+	r.Events = append(r.Events, Event{T: t, Rank: rank, Seq: seq, Phase: phase, Detail: detail})
+}
+
+// Reset discards recorded events (between iterations).
+func (r *Recorder) Reset() {
+	if r != nil {
+		r.Events = r.Events[:0]
+	}
+}
+
+// ByRank returns rank r's events in time order.
+func (r *Recorder) ByRank(rank int) []Event {
+	var out []Event
+	for _, e := range r.Events {
+		if e.Rank == rank {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// Phases returns the ordered phase names rank r went through.
+func (r *Recorder) Phases(rank int) []string {
+	evs := r.ByRank(rank)
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = e.Phase
+	}
+	return out
+}
+
+// First returns the earliest event with the given phase for a rank, or
+// false when absent.
+func (r *Recorder) First(rank int, phase string) (Event, bool) {
+	for _, e := range r.ByRank(rank) {
+		if e.Phase == phase {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Timeline renders every event in time order, one line each — the textual
+// equivalent of Figure 9.
+func (r *Recorder) Timeline() string {
+	if r == nil || len(r.Events) == 0 {
+		return "(no events)\n"
+	}
+	evs := append([]Event(nil), r.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	var b strings.Builder
+	for _, e := range evs {
+		fmt.Fprintf(&b, "%12v  rank %3d  op %3d  %-12s %s\n", e.T, e.Rank, e.Seq, e.Phase, e.Detail)
+	}
+	return b.String()
+}

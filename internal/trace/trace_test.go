@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(1, 0, 1, PhaseDispatch, "") // must not panic
+	r.Reset()
+	if r.Timeline() != "(no events)\n" {
+		t.Fatal("nil timeline wrong")
+	}
+}
+
+func TestRecordAndQuery(t *testing.T) {
+	r := &Recorder{}
+	r.Record(30, 1, 1, PhaseBarrier, "")
+	r.Record(10, 0, 1, PhaseDispatch, "allgather")
+	r.Record(20, 1, 1, PhaseDispatch, "allgather")
+	if len(r.Events) != 3 {
+		t.Fatalf("events = %d", len(r.Events))
+	}
+	phases := r.Phases(1)
+	if len(phases) != 2 || phases[0] != PhaseDispatch || phases[1] != PhaseBarrier {
+		t.Fatalf("rank 1 phases = %v", phases)
+	}
+	e, ok := r.First(0, PhaseDispatch)
+	if !ok || e.T != 10 || e.Detail != "allgather" {
+		t.Fatalf("First = %+v ok=%v", e, ok)
+	}
+	if _, ok := r.First(0, PhaseDone); ok {
+		t.Fatal("found phase never recorded")
+	}
+}
+
+func TestTimelineOrdered(t *testing.T) {
+	r := &Recorder{}
+	r.Record(sim.Time(300), 2, 1, PhaseDone, "")
+	r.Record(sim.Time(100), 0, 1, PhaseDispatch, "")
+	r.Record(sim.Time(200), 1, 1, PhaseBarrier, "")
+	tl := r.Timeline()
+	iDispatch := strings.Index(tl, PhaseDispatch)
+	iBarrier := strings.Index(tl, PhaseBarrier)
+	iDone := strings.Index(tl, PhaseDone)
+	if !(iDispatch < iBarrier && iBarrier < iDone) {
+		t.Fatalf("timeline not time-ordered:\n%s", tl)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := &Recorder{}
+	r.Record(1, 0, 1, PhaseDispatch, "")
+	r.Reset()
+	if len(r.Events) != 0 {
+		t.Fatal("Reset left events")
+	}
+}

@@ -1,0 +1,528 @@
+package verbs
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// --- UD ---------------------------------------------------------------------
+
+// PostSendUD transmits one datagram (payload <= MTU) from mr[offset:] to a
+// unicast QP or a multicast group. The 32-bit immediate travels in the
+// packet header and surfaces in the receiver's CQE — the protocol's PSN
+// channel. A signaled send pushes an OpSend CQE locally once the datagram
+// is handed to the NIC (sender-side completions on unreliable transports
+// mean "accepted by hardware", not "delivered").
+func (qp *QP) PostSendUD(wrID uint64, dst Addr, mr *MR, offset, length int, imm uint32, signaled bool) {
+	if qp.Transport != UD {
+		panic("verbs: PostSendUD on non-UD QP")
+	}
+	if length > qp.ctx.MTU() {
+		panic(fmt.Sprintf("verbs: UD datagram %d exceeds MTU %d", length, qp.ctx.MTU()))
+	}
+	m := &wireMsg{
+		op:      wireSendUD,
+		srcQPN:  qp.N,
+		dstQPN:  dst.QPN,
+		imm:     imm,
+		hasImm:  true,
+		data:    mr.read(offset, length),
+		dataLen: length,
+	}
+	wire := qp.ctx.inject(dst, m, length, uint64(qp.N))
+	if signaled {
+		// The send completion is reported once the datagram has left the
+		// NIC (wire serialization done) — this is what paces batched send
+		// workers against the link.
+		qp.ctx.eng.At(wire, func() {
+			qp.sendCQ.Push(CQE{Op: OpSend, QPN: qp.N, WrID: wrID, Bytes: length})
+		})
+	}
+}
+
+// PostSendReduce transmits one contribution datagram into an in-network
+// reduction group (SHARP-style): the fabric routes it up the group's tree,
+// the root switch aggregates per chunkID, and one reduced result datagram
+// is emitted toward dst (consuming a posted receive there, like any UD
+// arrival). Only traffic and timing are modeled — values are not reduced.
+func (qp *QP) PostSendReduce(wrID uint64, dst Addr, rg fabric.ReduceGroupID, chunkID uint64, mr *MR, offset, length int, imm uint32, signaled bool) {
+	if qp.Transport != UD {
+		panic("verbs: PostSendReduce on non-UD QP")
+	}
+	if length > qp.ctx.MTU() {
+		panic(fmt.Sprintf("verbs: reduce datagram %d exceeds MTU %d", length, qp.ctx.MTU()))
+	}
+	m := &wireMsg{
+		op:      wireSendUD,
+		srcQPN:  qp.N,
+		dstQPN:  dst.QPN,
+		imm:     imm,
+		hasImm:  true,
+		dataLen: length,
+	}
+	pkt := &fabric.Packet{
+		Dst:          dst.Host,
+		Group:        fabric.NoGroup,
+		Flow:         uint64(qp.N),
+		Payload:      m,
+		PayloadBytes: length,
+		Reduce:       rg,
+		ReduceChunk:  chunkID,
+	}
+	wire := qp.ctx.nic.Inject(pkt)
+	if signaled {
+		qp.ctx.eng.At(wire, func() {
+			qp.sendCQ.Push(CQE{Op: OpSend, QPN: qp.N, WrID: wrID, Bytes: length})
+		})
+	}
+}
+
+// receiveUD matches the datagram against the receive queue. No posted
+// receive means an RNR drop — the failure mode the protocol's RNR barrier
+// plus receive-worker scaling exists to avoid (§III-C).
+func (qp *QP) receiveUD(src Addr, m *wireMsg) {
+	w, ok := qp.popRecv()
+	if !ok {
+		qp.RNRDrops++
+		qp.ctx.RNRDrops++
+		return
+	}
+	n := m.dataLen
+	if n > w.length {
+		n = w.length // truncate to the posted buffer, as UD does
+	}
+	w.mr.write(w.offset, m.data, n)
+	qp.recvCQ.Push(CQE{
+		Op: OpRecv, QPN: qp.N, WrID: w.wrID,
+		Imm: m.imm, HasImm: m.hasImm, Bytes: n,
+		SrcHost: src.Host, SrcQPN: src.QPN,
+	})
+}
+
+// --- UC ---------------------------------------------------------------------
+
+// PostWriteUC performs an RDMA Write with immediate over the UC transport:
+// the message is segmented into MTU packets; the receiver places segments
+// directly at rkey[roffset+seg*MTU] (zero-copy) and raises one
+// OpRecvWriteImm CQE per *message* when the last segment lands. If any
+// segment is lost the whole message evaporates (UC semantics) — no CQE,
+// counted in UCMsgDropped on the receiver when detectable.
+//
+// With a multicast peer address this is the paper's proposed UC-multicast
+// extension (§V-B, Appendix C): every attached receiver places the message
+// into its own MR registered under the agreed rkey.
+func (qp *QP) PostWriteUC(wrID uint64, mr *MR, offset, length int, rkey uint32, roffset int, imm uint32, signaled bool) {
+	if qp.Transport != UC {
+		panic("verbs: PostWriteUC on non-UC QP")
+	}
+	if !qp.connected {
+		panic("verbs: UC QP not connected")
+	}
+	qp.segmentAndSend(wireWrite, qp.peer, wrID, mr, offset, length, rkey, roffset, imm, signaled)
+}
+
+// segmentAndSend chops [offset, offset+length) into MTU packets and injects
+// them under a fresh message id.
+func (qp *QP) segmentAndSend(op wireOp, dst Addr, wrID uint64, mr *MR, offset, length int, rkey uint32, roffset int, imm uint32, signaled bool) uint64 {
+	msgID := qp.ctx.allocMsgID()
+	qp.segmentAndSendSignaled(msgID, op, dst, wrID, mr, offset, length, rkey, roffset, imm, signaled)
+	return msgID
+}
+
+// segmentAndSendMsg resends under an existing message id (RC retransmit)
+// and reports when the last segment leaves the NIC.
+func (qp *QP) segmentAndSendMsg(msgID uint64, op wireOp, dst Addr, mr *MR, offset, length int, rkey uint32, roffset int, imm uint32) sim.Time {
+	return qp.segmentAndSendSignaled(msgID, op, dst, 0, mr, offset, length, rkey, roffset, imm, false)
+}
+
+func (qp *QP) segmentAndSendSignaled(msgID uint64, op wireOp, dst Addr, wrID uint64, mr *MR, offset, length int, rkey uint32, roffset int, imm uint32, signaled bool) sim.Time {
+	if length < 0 {
+		panic(fmt.Sprintf("verbs: negative message length %d", length))
+	}
+	ctx := qp.ctx
+	mtu := ctx.MTU()
+	nsegs := (length + mtu - 1) / mtu
+	if nsegs == 0 {
+		nsegs = 1 // zero-length message still carries its immediate
+	}
+	var lastWire sim.Time
+	for s := 0; s < nsegs; s++ {
+		segOff := s * mtu
+		segLen := length - segOff
+		if segLen > mtu {
+			segLen = mtu
+		}
+		if segLen < 0 {
+			segLen = 0
+		}
+		m := &wireMsg{
+			op:      op,
+			srcQPN:  qp.N,
+			dstQPN:  dst.QPN,
+			msgID:   msgID,
+			seg:     s,
+			nsegs:   nsegs,
+			rkey:    rkey,
+			roffset: roffset + segOff,
+			imm:     imm,
+			hasImm:  s == nsegs-1, // immediate rides the last segment
+			dataLen: segLen,
+		}
+		if mr != nil && segLen > 0 {
+			m.data = mr.read(offset+segOff, segLen)
+		}
+		wire := ctx.inject(dst, m, segLen, uint64(qp.N))
+		if s == nsegs-1 {
+			lastWire = wire
+			if op == wireWrite && qp.Transport == UC && signaled {
+				ctx.eng.At(wire, func() {
+					qp.sendCQ.Push(CQE{Op: OpSend, QPN: qp.N, WrID: wrID, Bytes: length})
+				})
+			}
+		}
+	}
+	return lastWire
+}
+
+// assemblyKey identifies one in-flight message. QPNs are only unique per
+// context, so the source host must be part of the key: multicast delivers
+// messages from many senders to the same receiving QP.
+type assemblyKey struct {
+	srcHost topology.NodeID
+	srcQPN  QPN
+	msgID   uint64
+}
+
+type assemblyState struct {
+	got   []bool
+	have  int
+	bytes int
+	data  []byte // two-sided RC payload staged until a receive WQE matches
+}
+
+// receiveWrite handles one UC/RC write segment on the receiver.
+func (qp *QP) receiveWrite(src Addr, m *wireMsg, reliable bool) {
+	mr, ok := qp.ctx.LookupMR(m.rkey)
+	if !ok {
+		panic(fmt.Sprintf("verbs: write to unknown rkey %d on host %d", m.rkey, qp.ctx.Host))
+	}
+	key := assemblyKey{srcHost: src.Host, srcQPN: m.srcQPN, msgID: m.msgID}
+	if reliable && qp.completedRC[key] {
+		qp.sendAck(src, m.msgID, 0) // retransmission raced our ack: re-ack
+		return
+	}
+	st := qp.assembly[key]
+	if st == nil {
+		st = &assemblyState{got: make([]bool, m.nsegs)}
+		qp.assembly[key] = st
+	}
+	if st.got[m.seg] {
+		return // RC retransmission duplicate
+	}
+	st.got[m.seg] = true
+	st.have++
+	st.bytes += m.dataLen
+	mr.write(m.roffset, m.data, m.dataLen)
+
+	if st.have == m.nsegs {
+		delete(qp.assembly, key)
+		qp.recvCQ.Push(CQE{
+			Op: OpRecvWriteImm, QPN: qp.N,
+			Imm: m.imm, HasImm: m.hasImm, Bytes: st.bytes,
+			SrcHost: src.Host, SrcQPN: m.srcQPN,
+		})
+		if reliable {
+			qp.completedRC[key] = true
+			qp.sendAck(src, m.msgID, st.bytes)
+		}
+	}
+}
+
+// GCAssembly drops incomplete UC assembly state older than the current
+// collective iteration. The protocol calls this between operations; a real
+// NIC has no such state for UC because it tracks only the in-order PSN —
+// incomplete messages simply never complete.
+func (qp *QP) GCAssembly() {
+	for k, st := range qp.assembly {
+		if st.have < len(st.got) {
+			qp.UCMsgDropped++
+			delete(qp.assembly, k)
+		}
+	}
+}
+
+// --- RC ---------------------------------------------------------------------
+
+type rcPending struct {
+	wrID     uint64
+	msgID    uint64
+	dst      Addr
+	op       wireOp
+	mr       *MR
+	offset   int
+	length   int
+	rkey     uint32
+	roffset  int
+	imm      uint32
+	signaled bool
+	retries  int
+	timer    *sim.Event
+	// read bookkeeping (requester side)
+	isRead   bool
+	readDst  *MR
+	readOff  int
+	readGot  map[int]bool
+	readLen  int
+	readRecv int
+}
+
+// PostSendRC sends a two-sided reliable message; the receiver must have a
+// posted receive WQE large enough for it.
+func (qp *QP) PostSendRC(wrID uint64, mr *MR, offset, length int, imm uint32, signaled bool) {
+	qp.mustRC()
+	p := &rcPending{wrID: wrID, dst: qp.peer, op: wireSendRC, mr: mr, offset: offset,
+		length: length, imm: imm, signaled: signaled}
+	qp.startRC(p)
+}
+
+// PostWriteRC performs a reliable RDMA Write with immediate.
+func (qp *QP) PostWriteRC(wrID uint64, mr *MR, offset, length int, rkey uint32, roffset int, imm uint32, signaled bool) {
+	qp.mustRC()
+	p := &rcPending{wrID: wrID, dst: qp.peer, op: wireWrite, mr: mr, offset: offset,
+		length: length, rkey: rkey, roffset: roffset, imm: imm, signaled: signaled}
+	qp.startRC(p)
+}
+
+// PostReadRC fetches length bytes from the peer's rkey[roffset] into
+// local[localOff]. Completion surfaces as an OpRead CQE. This is the
+// primitive the slow-path fetch layer uses to repair dropped chunks.
+func (qp *QP) PostReadRC(wrID uint64, local *MR, localOff int, rkey uint32, roffset, length int) {
+	qp.mustRC()
+	p := &rcPending{wrID: wrID, dst: qp.peer, op: wireReadReq,
+		rkey: rkey, roffset: roffset, length: length,
+		isRead: true, readDst: local, readOff: localOff, readLen: length,
+		readGot: make(map[int]bool), signaled: true}
+	qp.startRC(p)
+}
+
+func (qp *QP) mustRC() {
+	if qp.Transport != RC {
+		panic("verbs: RC operation on non-RC QP")
+	}
+	if !qp.connected {
+		panic("verbs: RC QP not connected")
+	}
+}
+
+func (qp *QP) startRC(p *rcPending) {
+	p.msgID = qp.ctx.allocMsgID()
+	qp.pending[p.msgID] = p
+	wire := qp.transmitRC(p)
+	qp.armRetransmit(p, wire)
+}
+
+// transmitRC sends (or resends) the message's segments. The message id is
+// stable across retransmissions so that receiver-side duplicate filtering
+// (and requester-side read reassembly) accumulate progress across retries —
+// the moral equivalent of hardware go-back-N making forward progress.
+func (qp *QP) transmitRC(p *rcPending) sim.Time {
+	if p.op == wireReadReq {
+		m := &wireMsg{
+			op: wireReadReq, srcQPN: qp.N, dstQPN: p.dst.QPN, msgID: p.msgID,
+			rkey: p.rkey, roffset: p.roffset, readLen: p.length, nsegs: 1,
+		}
+		// Reads wait for a response of p.length bytes; budget its wire time
+		// into the timeout below via p.length.
+		return qp.ctx.inject(p.dst, m, 16, uint64(qp.N))
+	}
+	return qp.segmentAndSendMsg(p.msgID, p.op, p.dst, p.mr, p.offset, p.length, p.rkey, p.roffset, p.imm)
+}
+
+// armRetransmit schedules the retransmission timer. The clock starts when
+// the last segment has left the NIC (hardware measures ack timeouts from
+// transmission, not from software posting — otherwise deep send queues
+// would fire spurious retransmit storms), plus exponential backoff across
+// retries.
+func (qp *QP) armRetransmit(p *rcPending, wire sim.Time) {
+	ctx := qp.ctx
+	transfer := sim.Time(float64(p.length) / ctx.f.Config().LinkBandwidth * 2e9)
+	rto := ctx.cfg.RetransmitTimeout + transfer
+	rto <<= uint(p.retries) // exponential backoff
+	deadline := wire + rto
+	if now := ctx.eng.Now(); deadline < now {
+		deadline = now + rto
+	}
+	p.timer = ctx.eng.At(deadline, func() { qp.retransmit(p) })
+}
+
+func (qp *QP) retransmit(p *rcPending) {
+	if _, live := qp.pending[p.msgID]; !live {
+		return // acked while the timer was in flight
+	}
+	p.retries++
+	if p.retries > qp.ctx.cfg.MaxRetries {
+		delete(qp.pending, p.msgID)
+		qp.sendCQ.Push(CQE{Op: OpErr, QPN: qp.N, WrID: p.wrID})
+		return
+	}
+	qp.Retransmits++
+	wire := qp.transmitRC(p)
+	qp.armRetransmit(p, wire)
+}
+
+func (qp *QP) sendAck(dst Addr, msgID uint64, bytes int) {
+	m := &wireMsg{op: wireAck, srcQPN: qp.N, dstQPN: dst.QPN, msgID: msgID, ackBytes: bytes, nsegs: 1}
+	qp.ctx.inject(dst, m, 8, uint64(qp.N))
+}
+
+func (qp *QP) receiveAck(m *wireMsg) {
+	p, ok := qp.pending[m.msgID]
+	if !ok {
+		return // duplicate ack after retransmission
+	}
+	delete(qp.pending, m.msgID)
+	if p.timer != nil {
+		p.timer.Cancel()
+	}
+	if p.signaled && !p.isRead {
+		qp.sendCQ.Push(CQE{Op: OpSend, QPN: qp.N, WrID: p.wrID, Bytes: p.length})
+	}
+}
+
+// receiveSendRC delivers a fully reassembled two-sided RC message into a
+// posted receive. RC with an empty RQ would RNR-NAK; the retransmission
+// timer covers that case, so we simply drop (no ack) here.
+func (qp *QP) receiveSendRC(src Addr, m *wireMsg, st *assemblyState) {
+	w, ok := qp.popRecv()
+	if !ok {
+		qp.RNRDrops++
+		qp.ctx.RNRDrops++
+		return // no ack: sender retries until a receive is posted
+	}
+	qp.completedRC[assemblyKey{srcHost: src.Host, srcQPN: m.srcQPN, msgID: m.msgID}] = true
+	n := st.bytes
+	if n > w.length {
+		n = w.length
+	}
+	if st.data != nil {
+		w.mr.write(w.offset, st.data, n)
+	}
+	qp.recvCQ.Push(CQE{
+		Op: OpRecv, QPN: qp.N, WrID: w.wrID,
+		Imm: m.imm, HasImm: m.hasImm, Bytes: n,
+		SrcHost: src.Host, SrcQPN: m.srcQPN,
+	})
+	qp.sendAck(src, m.msgID, n)
+}
+
+// receiveReadReq serves an incoming RDMA Read on the responder: stream the
+// requested range back as read-response segments. The NIC serves reads
+// without software involvement — no CQE on the responder.
+func (qp *QP) receiveReadReq(src Addr, m *wireMsg) {
+	mr, ok := qp.ctx.LookupMR(m.rkey)
+	if !ok {
+		panic(fmt.Sprintf("verbs: read of unknown rkey %d on host %d", m.rkey, qp.ctx.Host))
+	}
+	mtu := qp.ctx.MTU()
+	nsegs := (m.readLen + mtu - 1) / mtu
+	if nsegs == 0 {
+		nsegs = 1
+	}
+	for s := 0; s < nsegs; s++ {
+		segOff := s * mtu
+		segLen := m.readLen - segOff
+		if segLen > mtu {
+			segLen = mtu
+		}
+		if segLen < 0 {
+			segLen = 0
+		}
+		resp := &wireMsg{
+			op: wireReadResp, srcQPN: qp.N, dstQPN: m.srcQPN,
+			msgID: m.msgID, seg: s, nsegs: nsegs,
+			roffset: segOff, dataLen: segLen,
+		}
+		if segLen > 0 {
+			resp.data = mr.read(m.roffset+segOff, segLen)
+		}
+		qp.ctx.inject(src, resp, segLen, uint64(qp.N))
+	}
+}
+
+// receiveReadResp accumulates read-response segments on the requester.
+func (qp *QP) receiveReadResp(m *wireMsg) {
+	var p *rcPending
+	if q, ok := qp.pending[m.msgID]; ok && q.isRead {
+		p = q
+	} else {
+		return // response to a superseded (retransmitted) read
+	}
+	if p.readGot[m.seg] {
+		return
+	}
+	p.readGot[m.seg] = true
+	p.readRecv += m.dataLen
+	p.readDst.write(p.readOff+m.roffset, m.data, m.dataLen)
+	if len(p.readGot) == m.nsegs {
+		delete(qp.pending, m.msgID)
+		if p.timer != nil {
+			p.timer.Cancel()
+		}
+		qp.sendCQ.Push(CQE{Op: OpRead, QPN: qp.N, WrID: p.wrID, Bytes: p.readRecv})
+	}
+}
+
+// receive is the per-QP packet demultiplexer.
+func (qp *QP) receive(pkt *fabric.Packet, m *wireMsg) {
+	src := Addr{Host: pkt.Src, QPN: m.srcQPN, Group: fabric.NoGroup}
+	switch m.op {
+	case wireSendUD:
+		qp.receiveUD(src, m)
+	case wireWrite:
+		qp.receiveWrite(src, m, qp.Transport == RC)
+	case wireSendRC:
+		qp.receiveSendSegment(src, m)
+	case wireAck:
+		qp.receiveAck(m)
+	case wireReadReq:
+		qp.receiveReadReq(src, m)
+	case wireReadResp:
+		qp.receiveReadResp(m)
+	default:
+		panic("verbs: unknown wire op")
+	}
+}
+
+// receiveSendSegment reassembles two-sided RC messages.
+func (qp *QP) receiveSendSegment(src Addr, m *wireMsg) {
+	key := assemblyKey{srcHost: src.Host, srcQPN: m.srcQPN, msgID: m.msgID}
+	if qp.completedRC[key] {
+		qp.sendAck(src, m.msgID, 0)
+		return
+	}
+	st := qp.assembly[key]
+	if st == nil {
+		st = &assemblyState{got: make([]bool, m.nsegs)}
+		qp.assembly[key] = st
+	}
+	if st.got[m.seg] {
+		return
+	}
+	st.got[m.seg] = true
+	st.have++
+	st.bytes += m.dataLen
+	if m.data != nil {
+		mtu := qp.ctx.MTU()
+		if st.data == nil {
+			st.data = make([]byte, m.nsegs*mtu)
+		}
+		copy(st.data[m.seg*mtu:], m.data)
+	}
+	if st.have == m.nsegs {
+		delete(qp.assembly, key)
+		qp.receiveSendRC(src, m, st)
+	}
+}
