@@ -13,7 +13,6 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/sim"
@@ -171,71 +170,31 @@ func BenchmarkAblationArbitration(b *testing.B) {
 }
 
 // BenchmarkAblationBaselines times every Allgather algorithm on the same
-// 16-rank system: the library-selection view of Figure 11.
+// 16-rank system through the unified registry: the library-selection view
+// of Figure 11.
 func BenchmarkAblationBaselines(b *testing.B) {
-	type algo struct {
-		name string
-		run  func(sys *System) (sim.Time, error)
+	// The multicast protocol gets the paper's 4 parallel trees; the P2P
+	// baselines run with library defaults.
+	opts := map[string]AlgorithmOptions{
+		"mcast-allgather": {Core: core.Config{Transport: verbs.UD, Subgroups: 4}},
 	}
-	algos := []algo{
-		{"mcast", func(sys *System) (sim.Time, error) {
-			comm, err := sys.NewCommunicator(sys.Hosts(), core.Config{Transport: verbs.UD, Subgroups: 4})
-			if err != nil {
-				return 0, err
-			}
-			res, err := comm.RunAllgather(1 << 20)
-			if err != nil {
-				return 0, err
-			}
-			return res.Duration(), nil
-		}},
-		{"ring", func(sys *System) (sim.Time, error) {
-			team, err := sys.NewTeam(sys.Hosts(), coll.Config{})
-			if err != nil {
-				return 0, err
-			}
-			res, err := team.RunRingAllgather(1 << 20)
-			if err != nil {
-				return 0, err
-			}
-			return res.Duration(), nil
-		}},
-		{"linear", func(sys *System) (sim.Time, error) {
-			team, err := sys.NewTeam(sys.Hosts(), coll.Config{})
-			if err != nil {
-				return 0, err
-			}
-			res, err := team.RunLinearAllgather(1 << 20)
-			if err != nil {
-				return 0, err
-			}
-			return res.Duration(), nil
-		}},
-		{"recursive-doubling", func(sys *System) (sim.Time, error) {
-			team, err := sys.NewTeam(sys.Hosts(), coll.Config{})
-			if err != nil {
-				return 0, err
-			}
-			res, err := team.RunRecursiveDoublingAllgather(1 << 20)
-			if err != nil {
-				return 0, err
-			}
-			return res.Duration(), nil
-		}},
-	}
-	for _, a := range algos {
-		b.Run(a.name, func(b *testing.B) {
+	for _, name := range []string{"mcast-allgather", "ring-allgather", "linear-allgather", "rd-allgather", "bruck-allgather"} {
+		b.Run(name, func(b *testing.B) {
 			var dur sim.Time
 			for i := 0; i < b.N; i++ {
 				sys, err := NewSystem(SystemConfig{Hosts: 16, HostsPerLeaf: 4, Seed: 3})
 				if err != nil {
 					b.Fatal(err)
 				}
-				d, err := a.run(sys)
+				alg, err := NewAlgorithm(sys, name, opts[name])
 				if err != nil {
 					b.Fatal(err)
 				}
-				dur = d
+				res, err := alg.Run(Op{Kind: Allgather, Bytes: 1 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				dur = res.Duration()
 			}
 			b.ReportMetric(dur.Micros(), "µs-op")
 		})

@@ -4,13 +4,19 @@
 // many iterations, medians with nonparametric confidence intervals
 // (Hoefler–Belli guidelines).
 //
+// Every algorithm is dispatched through the unified registry: the -op and
+// -algo flags join into a registry name (e.g. -op allgather -algo mcast
+// runs "mcast-allgather").
+//
 // Usage:
 //
 //	osu -op allgather -algo mcast -nodes 32 -sizes 4096:1048576 -iters 20
 //	osu -op broadcast -algo knomial -nodes 188
+//	osu -op allreduce -algo ring -nodes 64
 //
-// Operations: allgather (algos: mcast, ring, linear), broadcast (algos:
-// mcast, knomial, binary, chain).
+// Operations and algorithms: allgather (mcast, ring, linear, rd, bruck),
+// broadcast (mcast, knomial, binary, chain), reduce-scatter (ring, inc),
+// allreduce (ring, mcast — the composed ring Reduce-Scatter + Allgather).
 package main
 
 import (
@@ -21,18 +27,18 @@ import (
 	"strings"
 	"text/tabwriter"
 
-	"repro/internal/coll"
-	"repro/internal/core"
+	"repro/internal/cluster"
+	"repro/internal/collective"
 	"repro/internal/fabric"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
-	"repro/internal/verbs"
 )
 
 func main() {
-	op := flag.String("op", "allgather", "collective: allgather or broadcast")
-	algo := flag.String("algo", "mcast", "algorithm (allgather: mcast|ring|linear; broadcast: mcast|knomial|binary|chain)")
+	opFlag := flag.String("op", "allgather", "collective: allgather, broadcast, reduce-scatter or allreduce")
+	algo := flag.String("algo", "mcast", "algorithm family (joined with -op into a registry name, e.g. mcast-allgather)")
 	nodes := flag.Int("nodes", 32, "participating nodes (<=188)")
 	sizesFlag := flag.String("sizes", "4096:1048576", "size range min:max (doubling) or comma list")
 	iters := flag.Int("iters", 10, "measured iterations per size")
@@ -52,130 +58,56 @@ func main() {
 		os.Exit(2)
 	}
 
-	runner, err := buildRunner(*op, *algo, *nodes, *linkGbps*1e9/8, *seed, *jitter)
+	// The communicator persists across iterations and sizes (buffers
+	// cached, QPs warm), as OSU benchmarks do.
+	eng := sim.NewEngine(*seed)
+	g := topology.Testbed188()
+	f := fabric.New(eng, g, fabric.Config{
+		LinkBandwidth: *linkGbps * 1e9 / 8,
+		ReorderJitter: sim.Time(*jitter) * sim.Microsecond,
+	})
+	name := *algo + "-" + *opFlag
+	alg, err := registry.New(cluster.New(f, cluster.Config{}), name, registry.Options{
+		Hosts: g.Hosts()[:*nodes],
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "osu:", err)
 		os.Exit(2)
 	}
 
 	fmt.Printf("# OSU-style %s / %s, %d nodes, %.0f Gbit/s links, %d iters (+%d warmup)\n",
-		*op, *algo, *nodes, *linkGbps, *iters, *warmup)
+		*opFlag, name, *nodes, *linkGbps, *iters, *warmup)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "size\tmedian µs\tCI95 low\tCI95 high\tmin µs\tmax µs\tGiB/s")
 	for _, n := range sizes {
+		op := collective.Op{Kind: collective.Kind(*opFlag), Bytes: n}
+		if !alg.Supports(op) {
+			fmt.Fprintf(os.Stderr, "osu: %s does not support %s of %d bytes on %d nodes\n", name, op.Kind, n, *nodes)
+			os.Exit(2)
+		}
 		var lat []float64
+		var recvPerRank float64
 		for i := 0; i < *warmup+*iters; i++ {
-			d, recvBytes, err := runner(n)
+			res, err := alg.Run(op)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "osu: size %d iter %d: %v\n", n, i, err)
 				os.Exit(1)
 			}
 			if i >= *warmup {
-				lat = append(lat, d.Micros())
-				_ = recvBytes
+				lat = append(lat, res.Duration().Micros())
+				recvPerRank = res.RecvPerRank()
 			}
 		}
 		s := stats.Summarize(lat)
-		_, recvBytes, _ := runnerMeta(*op, *nodes, n)
-		bw := float64(recvBytes) / (s.Median / 1e6) / (1 << 30)
+		// Bandwidth numerator is the per-rank network receive payload, the
+		// same semantic AlgBandwidth and Figure 11 use. For the multicast
+		// broadcast this averages in the root's zero receive ((P-1)/P · n),
+		// while the P2P broadcasts report a flat n per rank.
+		bw := recvPerRank / (s.Median / 1e6) / (1 << 30)
 		fmt.Fprintf(w, "%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.3f\n",
 			n, s.Median, s.CILow, s.CIHigh, s.Min, s.Max, bw)
 	}
 	w.Flush()
-}
-
-// runnerMeta returns the per-rank receive volume for bandwidth reporting.
-func runnerMeta(op string, nodes, n int) (int, int, error) {
-	if op == "allgather" {
-		return n, (nodes - 1) * n, nil
-	}
-	return n, n, nil
-}
-
-// buildRunner constructs a closure running one iteration of the selected
-// collective and returning its duration. The communicator/team persists
-// across iterations (buffers cached, QPs warm), as OSU benchmarks do.
-func buildRunner(op, algo string, nodes int, linkBw float64, seed uint64, jitterUs int) (func(n int) (sim.Time, int, error), error) {
-	eng := sim.NewEngine(seed)
-	g := topology.Testbed188()
-	f := fabric.New(eng, g, fabric.Config{
-		LinkBandwidth: linkBw,
-		ReorderJitter: sim.Time(jitterUs) * sim.Microsecond,
-	})
-	hosts := g.Hosts()[:nodes]
-
-	switch op {
-	case "allgather":
-		switch algo {
-		case "mcast":
-			comm, err := core.NewCommunicator(f, hosts, core.Config{Transport: verbs.UD})
-			if err != nil {
-				return nil, err
-			}
-			return func(n int) (sim.Time, int, error) {
-				res, err := comm.RunAllgather(n)
-				if err != nil {
-					return 0, 0, err
-				}
-				return res.Duration(), (nodes - 1) * n, nil
-			}, nil
-		case "ring", "linear":
-			team, err := coll.NewTeamOn(f, hosts, coll.Config{})
-			if err != nil {
-				return nil, err
-			}
-			return func(n int) (sim.Time, int, error) {
-				var res *coll.Result
-				var err error
-				if algo == "ring" {
-					res, err = team.RunRingAllgather(n)
-				} else {
-					res, err = team.RunLinearAllgather(n)
-				}
-				if err != nil {
-					return 0, 0, err
-				}
-				return res.Duration(), res.RecvBytes, nil
-			}, nil
-		}
-	case "broadcast":
-		switch algo {
-		case "mcast":
-			comm, err := core.NewCommunicator(f, hosts, core.Config{Transport: verbs.UD})
-			if err != nil {
-				return nil, err
-			}
-			return func(n int) (sim.Time, int, error) {
-				res, err := comm.RunBroadcast(0, n)
-				if err != nil {
-					return 0, 0, err
-				}
-				return res.Duration(), n, nil
-			}, nil
-		case "knomial", "binary", "chain":
-			team, err := coll.NewTeamOn(f, hosts, coll.Config{})
-			if err != nil {
-				return nil, err
-			}
-			return func(n int) (sim.Time, int, error) {
-				var res *coll.Result
-				var err error
-				switch algo {
-				case "knomial":
-					res, err = team.RunKnomialBroadcast(0, n)
-				case "binary":
-					res, err = team.RunBinaryTreeBroadcast(0, n)
-				default:
-					res, err = team.RunChainBroadcast(0, n)
-				}
-				if err != nil {
-					return 0, 0, err
-				}
-				return res.Duration(), n, nil
-			}, nil
-		}
-	}
-	return nil, fmt.Errorf("unknown op/algo %s/%s", op, algo)
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -5,17 +5,29 @@
 // and bandwidth-optimal Allgather protocols, a DPA SmartNIC offload model,
 // and the point-to-point baselines they are evaluated against.
 //
-// A typical session builds a System (topology + fabric + per-host runtime),
-// creates communicators or baseline teams on it, and runs collectives:
+// Every collective — the multicast protocol and the P2P baselines alike —
+// is reached through one unified surface: an Op describes the operation, an
+// Algorithm executes it, and every algorithm produces the same Result type.
+// Algorithms() lists the registry ("mcast-allgather", "ring-allgather",
+// "knomial-broadcast", the composed "ring-allreduce"/"mcast-allreduce", …)
+// and NewAlgorithm instantiates one entry over a System:
 //
 //	sys, _ := repro.NewSystem(repro.SystemConfig{Hosts: 16})
-//	comm, _ := sys.NewCommunicator(sys.Hosts(), core.Config{Transport: verbs.UD})
-//	res, _ := comm.RunAllgather(1 << 20)
+//	alg, _ := repro.NewAlgorithm(sys, "mcast-allgather", repro.AlgorithmOptions{})
+//	res, _ := alg.Run(repro.Op{Kind: repro.Allgather, Bytes: 1 << 20})
 //	fmt.Println(res.AlgBandwidth())
+//
+// Instances persist transport state (queue pairs, registered buffers)
+// across Run calls, so repeated operations measure a warm communicator.
+// Algorithms that implement Starter also run non-blocking for workloads
+// that overlap collectives with compute (the FSDP example). The lower-level
+// System.NewCommunicator / System.NewTeam constructors remain for direct
+// protocol access.
 //
 // The heavy lifting lives in the internal packages: sim (event engine),
 // topology, fabric, verbs, dpa, core (the paper's contribution), coll
-// (baselines), model (analytic cost models) and harness (per-figure
+// (baselines), collective (shared Op/Result types), registry (the
+// algorithm table), model (analytic cost models) and harness (per-figure
 // experiment drivers).
 package repro
 
@@ -24,11 +36,61 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/coll"
+	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
+
+// Op describes one collective operation: see collective.Op.
+type Op = collective.Op
+
+// Kind names a collective operation.
+type Kind = collective.Kind
+
+// The operations the registry's algorithms implement.
+const (
+	Allgather     = collective.Allgather
+	Broadcast     = collective.Broadcast
+	ReduceScatter = collective.ReduceScatter
+	Allreduce     = collective.Allreduce
+)
+
+// Result is the unified outcome of one collective across all ranks,
+// shared by the multicast protocol and every baseline.
+type Result = collective.Result
+
+// RankStats is the optional per-rank critical-path extension of a Result
+// (the Figure-10 breakdown, produced by the mcast-* algorithms).
+type RankStats = collective.RankStats
+
+// Algorithm is one executable collective algorithm bound to a system.
+type Algorithm = collective.Algorithm
+
+// Starter is implemented by algorithms that also run non-blocking.
+type Starter = collective.Starter
+
+// Verifier is implemented by algorithms that can check payload integrity
+// of their most recent operation (requires VerifyData in the options).
+type Verifier = registry.Verifier
+
+// AlgorithmOptions parameterizes NewAlgorithm: the rank subset and the
+// per-stack tuning knobs.
+type AlgorithmOptions = registry.Options
+
+// Algorithms returns the names of every registered collective algorithm,
+// sorted: multicast broadcast/allgather, the P2P allgather and broadcast
+// baselines, ring and in-network reduce-scatter, and the composed
+// allreduces.
+func Algorithms() []string { return registry.Names() }
+
+// NewAlgorithm instantiates a registered algorithm on the system's shared
+// per-host runtime. opts.Hosts nil means every host.
+func NewAlgorithm(sys *System, name string, opts AlgorithmOptions) (Algorithm, error) {
+	return registry.New(sys.Cluster, name, opts)
+}
 
 // SystemConfig shapes a simulated cluster.
 type SystemConfig struct {

@@ -3,6 +3,7 @@
 // group of servers with a tight completion-time requirement. This example
 // replicates a stream of segments over a lossy fabric, exercising the
 // reliability slow path, and compares against a k-nomial tree replication.
+// Both replication schemes come from the unified algorithm registry.
 package main
 
 import (
@@ -25,6 +26,8 @@ const (
 )
 
 func main() {
+	op := repro.Op{Kind: repro.Broadcast, Bytes: segmentBytes, Root: 0}
+
 	// Multicast replication with injected drops: the bitmap + fetch-ring
 	// reliability layer must repair every loss.
 	sys, err := repro.NewSystem(repro.SystemConfig{
@@ -36,11 +39,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	comm, err := sys.NewCommunicator(sys.Hosts(), core.Config{
-		Transport:   verbs.UD,
-		Subgroups:   2,
-		VerifyData:  true,
-		CutoffAlpha: 200 * sim.Microsecond,
+	mcast, err := repro.NewAlgorithm(sys, "mcast-broadcast", repro.AlgorithmOptions{
+		Core: core.Config{
+			Transport:   verbs.UD,
+			Subgroups:   2,
+			VerifyData:  true,
+			CutoffAlpha: 200 * sim.Microsecond,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -49,11 +54,11 @@ func main() {
 	var total sim.Time
 	recovered := 0
 	for seg := 0; seg < segments; seg++ {
-		res, err := comm.RunBroadcast(0, segmentBytes)
+		res, err := mcast.Run(op)
 		if err != nil {
 			log.Fatalf("segment %d: %v", seg, err)
 		}
-		if err := comm.VerifyLast(); err != nil {
+		if err := mcast.(repro.Verifier).VerifyLast(op); err != nil {
 			log.Fatalf("segment %d corrupted: %v", seg, err)
 		}
 		total += res.Duration()
@@ -71,17 +76,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	team, err := sys2.NewTeam(sys2.Hosts(), coll.Config{VerifyData: true})
+	knomial, err := repro.NewAlgorithm(sys2, "knomial-broadcast", repro.AlgorithmOptions{
+		Coll: coll.Config{VerifyData: true},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	var p2pTotal sim.Time
 	for seg := 0; seg < segments; seg++ {
-		res, err := team.RunKnomialBroadcast(0, segmentBytes)
+		res, err := knomial.Run(op)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := team.VerifyBroadcast(0, segmentBytes); err != nil {
+		if err := knomial.(repro.Verifier).VerifyLast(op); err != nil {
 			log.Fatal(err)
 		}
 		p2pTotal += res.Duration()

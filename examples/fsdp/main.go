@@ -9,7 +9,8 @@
 // The example runs the same pipeline twice — with the conventional
 // {ring AG, ring RS} pair and with the paper's {multicast AG, in-network
 // RS} pair — and reports step time, speedup, and the achieved
-// communication/computation overlap.
+// communication/computation overlap. Both pairs are registry algorithms
+// driven through the non-blocking Starter surface.
 package main
 
 import (
@@ -17,7 +18,6 @@ import (
 	"log"
 
 	"repro"
-	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -36,6 +36,29 @@ type collectives struct {
 	name    string
 	startAG func(n int, done func()) error
 	startRS func(n int, done func()) error
+}
+
+// pairFrom wires two registry algorithms into the pipeline's start hooks.
+func pairFrom(sys *repro.System, name, agAlgo string, agOpts repro.AlgorithmOptions, rsAlgo string) (collectives, error) {
+	ag, err := repro.NewAlgorithm(sys, agAlgo, agOpts)
+	if err != nil {
+		return collectives{}, err
+	}
+	rs, err := repro.NewAlgorithm(sys, rsAlgo, repro.AlgorithmOptions{})
+	if err != nil {
+		return collectives{}, err
+	}
+	return collectives{
+		name: name,
+		startAG: func(n int, done func()) error {
+			return ag.(repro.Starter).Start(repro.Op{Kind: repro.Allgather, Bytes: n},
+				func(*repro.Result) { done() })
+		},
+		startRS: func(n int, done func()) error {
+			return rs.(repro.Starter).Start(repro.Op{Kind: repro.ReduceScatter, Bytes: n},
+				func(*repro.Result) { done() })
+		},
+	}, nil
 }
 
 func main() {
@@ -157,51 +180,19 @@ func runPipeline(build func(sys *repro.System) (collectives, error)) (sim.Time, 
 
 // ringPair wires the conventional UCC/NCCL pairing.
 func ringPair(sys *repro.System) (collectives, error) {
-	agTeam, err := sys.NewTeam(sys.Hosts(), coll.Config{})
-	if err != nil {
-		return collectives{}, err
-	}
-	rsTeam, err := sys.NewTeam(sys.Hosts(), coll.Config{})
-	if err != nil {
-		return collectives{}, err
-	}
-	return collectives{
-		name: "{AG ring, RS ring}",
-		startAG: func(n int, done func()) error {
-			return agTeam.StartRingAllgather(n, func(*coll.Result) { done() })
-		},
-		startRS: func(n int, done func()) error {
-			return rsTeam.StartRingReduceScatter(n, func(*coll.Result) { done() })
-		},
-	}, nil
+	return pairFrom(sys, "{AG ring, RS ring}",
+		"ring-allgather", repro.AlgorithmOptions{}, "ring-reduce-scatter")
 }
 
 // incPair wires the paper's pairing: multicast Allgather on the receive
 // path, in-network Reduce-Scatter on the send path.
 func incPair(sys *repro.System) (collectives, error) {
-	comm, err := sys.NewCommunicator(sys.Hosts(), core.Config{
-		Transport: verbs.UD,
-		Subgroups: 4,
-		Chains:    ranks, // spread injection: the send path belongs to RS
-	})
-	if err != nil {
-		return collectives{}, err
-	}
-	rsTeam, err := sys.NewTeam(sys.Hosts(), coll.Config{})
-	if err != nil {
-		return collectives{}, err
-	}
-	rg, err := sys.Fabric.CreateReduceGroup(sys.Graph.Switches()[0], sys.Hosts())
-	if err != nil {
-		return collectives{}, err
-	}
-	return collectives{
-		name: "{AG mcast, RS inc}",
-		startAG: func(n int, done func()) error {
-			return comm.StartAllgather(n, func(*core.Result) { done() })
-		},
-		startRS: func(n int, done func()) error {
-			return rsTeam.StartINCReduceScatter(rg, n, func(*coll.Result) { done() })
-		},
-	}, nil
+	return pairFrom(sys, "{AG mcast, RS inc}",
+		"mcast-allgather", repro.AlgorithmOptions{
+			Core: core.Config{
+				Transport: verbs.UD,
+				Subgroups: 4,
+				Chains:    ranks, // spread injection: the send path belongs to RS
+			},
+		}, "inc-reduce-scatter")
 }

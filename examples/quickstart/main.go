@@ -1,6 +1,7 @@
 // Quickstart: build a 16-node fat-tree, run the bandwidth-optimal multicast
-// Allgather, verify the gathered data, and compare traffic against the ring
-// baseline — the one-screen tour of the library.
+// Allgather through the unified algorithm registry, verify the gathered
+// data, and compare traffic against the ring baseline — the one-screen tour
+// of the library.
 package main
 
 import (
@@ -8,7 +9,6 @@ import (
 	"log"
 
 	"repro"
-	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/verbs"
 )
@@ -16,6 +16,7 @@ import (
 func main() {
 	const ranks = 16
 	const msg = 256 << 10 // 256 KiB per rank, an FSDP-typical shard size
+	op := repro.Op{Kind: repro.Allgather, Bytes: msg}
 
 	// A 16-host two-level fat-tree with 200 Gbit/s links.
 	sys, err := repro.NewSystem(repro.SystemConfig{Hosts: ranks, HostsPerLeaf: 4})
@@ -23,38 +24,37 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The paper's protocol: UD multicast fast path, 4 parallel trees,
-	// real data so we can verify the result.
-	comm, err := sys.NewCommunicator(sys.Hosts(), core.Config{
-		Transport:  verbs.UD,
-		Subgroups:  4,
-		VerifyData: true,
+	// The paper's protocol from the registry: UD multicast fast path, 4
+	// parallel trees, real data so we can verify the result.
+	mcast, err := repro.NewAlgorithm(sys, "mcast-allgather", repro.AlgorithmOptions{
+		Core: core.Config{Transport: verbs.UD, Subgroups: 4, VerifyData: true},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	res, err := comm.RunAllgather(msg)
+	res, err := mcast.Run(op)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := comm.VerifyLast(); err != nil {
+	if err := mcast.(repro.Verifier).VerifyLast(op); err != nil {
 		log.Fatal("allgather produced wrong bytes: ", err)
 	}
 	mcastBytes := sys.Fabric.SwitchPortBytes()
 	fmt.Printf("multicast allgather: %d ranks x %d KiB in %v (%.2f GiB/s per rank), data verified\n",
 		ranks, msg>>10, res.Duration(), res.AlgBandwidth()/(1<<30))
 
-	// Same job with the ring baseline on a fresh, identical system.
+	// Same job with the ring baseline on a fresh, identical system —
+	// swapping algorithms is just a different registry name.
 	sys2, err := repro.NewSystem(repro.SystemConfig{Hosts: ranks, HostsPerLeaf: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
-	team, err := sys2.NewTeam(sys2.Hosts(), coll.Config{})
+	ring, err := repro.NewAlgorithm(sys2, "ring-allgather", repro.AlgorithmOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ringRes, err := team.RunRingAllgather(msg)
+	ringRes, err := ring.Run(op)
 	if err != nil {
 		log.Fatal(err)
 	}

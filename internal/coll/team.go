@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/collective"
 	"repro/internal/dpa"
 	"repro/internal/fabric"
 	"repro/internal/sim"
@@ -156,27 +157,9 @@ func (p *peer) buf(size int) *verbs.MR {
 	return mr
 }
 
-// Result is the outcome of one baseline collective.
-type Result struct {
-	Kind      string
-	Ranks     int
-	SendBytes int
-	Start     sim.Time
-	End       sim.Time
-	// RecvBytes is the per-rank payload received from the network.
-	RecvBytes int
-}
-
-// Duration returns the operation's virtual wall-clock time.
-func (r *Result) Duration() sim.Time { return r.End - r.Start }
-
-// AlgBandwidth returns the per-rank receive throughput in bytes/second.
-func (r *Result) AlgBandwidth() float64 {
-	if r.Duration() <= 0 {
-		return 0
-	}
-	return float64(r.RecvBytes) / r.Duration().Seconds()
-}
+// Result is the outcome of one baseline collective: the unified
+// collective.Result, with the per-rank RecvBytes aggregate filled in.
+type Result = collective.Result
 
 // opDriver tracks completion across ranks and finalizes the Result.
 type opDriver struct {

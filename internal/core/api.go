@@ -4,74 +4,18 @@ import (
 	"fmt"
 
 	"repro/internal/bitmap"
+	"repro/internal/collective"
 	"repro/internal/dpa"
-	"repro/internal/sim"
 )
 
 // RankStats is the per-rank outcome of one collective, including the
-// critical-path breakdown reported in Figure 10.
-type RankStats struct {
-	Rank int
-	// BarrierTime is the RNR-synchronization phase (task start to barrier
-	// completion).
-	BarrierTime sim.Time
-	// McastTime is the multicast datapath phase (barrier completion to the
-	// last chunk accounted).
-	McastTime sim.Time
-	// FinalTime is the completion phase (receive-done to operation done:
-	// handshake plus DMA drain plus send-path tail).
-	FinalTime sim.Time
-	// Total is the end-to-end operation time at this rank.
-	Total sim.Time
-	// Recovered counts chunks repaired through the slow-path fetch ring.
-	Recovered int
-	// RNRDrops and Retransmits are transport-level failure counters.
-	RNRDrops    uint64
-	Retransmits uint64
-	// BytesReceived is the payload volume landed in the receive buffer
-	// from the network (excludes the local shard copy).
-	BytesReceived int
-}
+// critical-path breakdown reported in Figure 10. It is the shared
+// collective.RankStats extension.
+type RankStats = collective.RankStats
 
-// Result is the outcome of one collective across all ranks.
-type Result struct {
-	Kind      string
-	Seq       int
-	Ranks     int
-	SendBytes int
-	Start     sim.Time
-	End       sim.Time
-	PerRank   []RankStats
-}
-
-// Duration is the global wall-clock (virtual) time of the operation.
-func (res *Result) Duration() sim.Time { return res.End - res.Start }
-
-// AlgBandwidth returns the per-rank algorithm bandwidth in bytes/second:
-// receive-buffer payload divided by operation time, the metric Figure 11
-// plots ("per-process receive throughput").
-func (res *Result) AlgBandwidth() float64 {
-	if res.Duration() <= 0 {
-		return 0
-	}
-	var recv float64
-	for _, s := range res.PerRank {
-		recv += float64(s.BytesReceived)
-	}
-	recv /= float64(len(res.PerRank))
-	return recv / res.Duration().Seconds()
-}
-
-// MaxRecovered returns the largest per-rank recovered-chunk count.
-func (res *Result) MaxRecovered() int {
-	max := 0
-	for _, s := range res.PerRank {
-		if s.Recovered > max {
-			max = s.Recovered
-		}
-	}
-	return max
-}
+// Result is the outcome of one collective across all ranks: the unified
+// collective.Result, with the PerRank critical-path extension filled in.
+type Result = collective.Result
 
 // startOp builds the per-rank op states and dispatches them onto the app
 // threads. done runs once every rank has completed.

@@ -33,6 +33,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/fabric"
@@ -174,17 +175,9 @@ func NewCommunicatorOn(cl *cluster.Cluster, hosts []topology.NodeID, cfg Config)
 
 	// Pick multicast roots among the highest-level switches, round-robin.
 	g := f.Graph()
-	var roots []topology.NodeID
-	maxLevel := 0
-	for _, n := range g.Nodes {
-		if n.Kind == topology.Switch && n.Level > maxLevel {
-			maxLevel = n.Level
-		}
-	}
-	for _, n := range g.Nodes {
-		if n.Kind == topology.Switch && n.Level == maxLevel {
-			roots = append(roots, n.ID)
-		}
+	roots := g.TopSwitches()
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("core: topology has no switch to root multicast trees")
 	}
 	for s := 0; s < cfg.Subgroups; s++ {
 		gid, err := f.CreateGroup(roots[s%len(roots)], hosts)
@@ -239,6 +232,9 @@ func (c *Communicator) ctrlPeers(r int) []int {
 	for q := range set {
 		peers = append(peers, q)
 	}
+	// Deterministic order: QP creation order feeds event sequencing, and
+	// bit-for-bit reproducibility is a core promise of the simulator.
+	sort.Ints(peers)
 	return peers
 }
 

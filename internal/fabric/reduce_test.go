@@ -13,14 +13,7 @@ func reduceFixture(t *testing.T, g *topology.Graph) (*sim.Engine, *Fabric, Reduc
 	t.Helper()
 	eng := sim.NewEngine(3)
 	f := New(eng, g, Config{})
-	var root topology.NodeID
-	maxLevel := 0
-	for _, n := range g.Nodes {
-		if n.Kind == topology.Switch && n.Level > maxLevel {
-			maxLevel, root = n.Level, n.ID
-		}
-	}
-	rg, err := f.CreateReduceGroup(root, g.Hosts())
+	rg, err := f.CreateReduceGroup(g.TopSwitches()[0], g.Hosts())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,9 +5,11 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/coll"
+	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/model"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -192,7 +194,8 @@ type BreakdownPoint struct {
 }
 
 // Fig10Breakdown runs the multicast Allgather at several scales and
-// message sizes on the testbed model and reports median phase fractions.
+// message sizes on the testbed model and reports median phase fractions,
+// read from the unified Result's per-rank extension.
 func Fig10Breakdown(nodeCounts, sizes []int) ([]BreakdownPoint, error) {
 	var out []BreakdownPoint
 	for _, p := range nodeCounts {
@@ -202,11 +205,14 @@ func Fig10Breakdown(nodeCounts, sizes []int) ([]BreakdownPoint, error) {
 			if p > len(hosts) {
 				return nil, fmt.Errorf("harness: %d nodes exceed testbed", p)
 			}
-			comm, err := core.NewCommunicator(f, hosts[:p], core.Config{Transport: verbs.UD})
+			alg, err := registry.New(cluster.New(f, cluster.Config{}), "mcast-allgather", registry.Options{
+				Hosts: hosts[:p],
+				Core:  core.Config{Transport: verbs.UD},
+			})
 			if err != nil {
 				return nil, err
 			}
-			res, err := comm.RunAllgather(n)
+			res, err := alg.Run(collective.Op{Kind: collective.Allgather, Bytes: n})
 			if err != nil {
 				return nil, err
 			}
@@ -245,71 +251,45 @@ type Fig11Point struct {
 }
 
 // Fig11Throughput measures the multicast collectives against their P2P
-// baselines at the given node count (paper: 188) over a size sweep. The
+// baselines at the given node count (paper: 188) over a size sweep,
+// dispatching every algorithm through the unified registry. The
 // independent simulations run in parallel across OS threads.
 func Fig11Throughput(nodes int, sizes []int) ([]Fig11Point, error) {
 	type job struct {
-		op, algo string
-		n        int
+		op   collective.Kind
+		algo string
+		n    int
+		coll coll.Config
 	}
+	// The chain broadcast pipelines best with 16 KiB chunks on the testbed.
+	chainCfg := coll.Config{ChunkBytes: 16 << 10}
 	var jobs []job
 	for _, n := range sizes {
 		jobs = append(jobs,
-			job{"broadcast", "mcast-broadcast", n},
-			job{"broadcast", "knomial-broadcast", n},
-			job{"broadcast", "binary-broadcast", n},
-			job{"broadcast", "chain-broadcast", n},
-			job{"allgather", "mcast-allgather", n},
-			job{"allgather", "ring-allgather", n},
+			job{collective.Broadcast, "mcast-broadcast", n, coll.Config{}},
+			job{collective.Broadcast, "knomial-broadcast", n, coll.Config{}},
+			job{collective.Broadcast, "binary-broadcast", n, coll.Config{}},
+			job{collective.Broadcast, "chain-broadcast", n, chainCfg},
+			job{collective.Allgather, "mcast-allgather", n, coll.Config{}},
+			job{collective.Allgather, "ring-allgather", n, coll.Config{}},
 		)
 	}
 	pts, err := parallelMap(len(jobs), func(i int) (Fig11Point, error) {
 		j := jobs[i]
 		_, f := testbedFabric(uint64(j.n)+uint64(i), 0)
-		hosts := f.Graph().Hosts()[:nodes]
-		var bw float64
-		switch j.algo {
-		case "mcast-broadcast", "mcast-allgather":
-			comm, err := core.NewCommunicator(f, hosts, core.Config{Transport: verbs.UD})
-			if err != nil {
-				return Fig11Point{}, err
-			}
-			var res *core.Result
-			if j.op == "broadcast" {
-				res, err = comm.RunBroadcast(0, j.n)
-			} else {
-				res, err = comm.RunAllgather(j.n)
-			}
-			if err != nil {
-				return Fig11Point{}, err
-			}
-			bw = res.AlgBandwidth()
-		default:
-			cfg := coll.Config{}
-			if j.algo == "chain-broadcast" {
-				cfg.ChunkBytes = 16 << 10
-			}
-			team, err := coll.NewTeamOn(f, hosts, cfg)
-			if err != nil {
-				return Fig11Point{}, err
-			}
-			var res *coll.Result
-			switch j.algo {
-			case "knomial-broadcast":
-				res, err = team.RunKnomialBroadcast(0, j.n)
-			case "binary-broadcast":
-				res, err = team.RunBinaryTreeBroadcast(0, j.n)
-			case "chain-broadcast":
-				res, err = team.RunChainBroadcast(0, j.n)
-			case "ring-allgather":
-				res, err = team.RunRingAllgather(j.n)
-			}
-			if err != nil {
-				return Fig11Point{}, err
-			}
-			bw = res.AlgBandwidth()
+		alg, err := registry.New(cluster.New(f, cluster.Config{}), j.algo, registry.Options{
+			Hosts: f.Graph().Hosts()[:nodes],
+			Core:  core.Config{Transport: verbs.UD},
+			Coll:  j.coll,
+		})
+		if err != nil {
+			return Fig11Point{}, err
 		}
-		return Fig11Point{Op: j.op, Algo: j.algo, MsgBytes: j.n, GiBps: bw / (1 << 30)}, nil
+		res, err := alg.Run(collective.Op{Kind: j.op, Bytes: j.n})
+		if err != nil {
+			return Fig11Point{}, err
+		}
+		return Fig11Point{Op: string(j.op), Algo: j.algo, MsgBytes: j.n, GiBps: res.AlgBandwidth() / (1 << 30)}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -330,78 +310,47 @@ type Fig12Row struct {
 
 // Fig12Traffic runs broadcast and allgather with multicast and P2P
 // algorithms on the testbed model, reading the switch-port counters as the
-// paper does (64 KiB messages, iters iterations).
+// paper does (64 KiB messages, iters iterations). Each algorithm runs on
+// its own fresh fabric through the registry; the instance's persistent
+// transport state carries from warmup into the measured iterations.
 func Fig12Traffic(nodes, msgBytes, iters int) ([]Fig12Row, error) {
-	type runner func(f *fabric.Fabric) error
-	measure := func(name string, r runner) (uint64, error) {
-		eng, f := testbedFabric(77, 0)
-		_ = eng
+	measure := func(algo string, op collective.Op) (uint64, error) {
+		_, f := testbedFabric(77, 0)
+		alg, err := registry.New(cluster.New(f, cluster.Config{}), algo, registry.Options{
+			Hosts: f.Graph().Hosts()[:nodes],
+			Core:  core.Config{Transport: verbs.UD},
+		})
+		if err != nil {
+			return 0, err
+		}
 		// One warmup, then reset counters and measure iters iterations.
-		if err := r(f); err != nil {
-			return 0, fmt.Errorf("%s warmup: %w", name, err)
+		if _, err := alg.Run(op); err != nil {
+			return 0, fmt.Errorf("%s warmup: %w", algo, err)
 		}
 		f.ResetCounters()
 		for i := 0; i < iters; i++ {
-			if err := r(f); err != nil {
-				return 0, fmt.Errorf("%s iter %d: %w", name, i, err)
+			if _, err := alg.Run(op); err != nil {
+				return 0, fmt.Errorf("%s iter %d: %w", algo, i, err)
 			}
 		}
 		return f.SwitchPortBytes(), nil
 	}
 
-	var mcastComm *core.Communicator
-	mcastRun := func(kind string) runner {
-		return func(f *fabric.Fabric) error {
-			if mcastComm == nil || mcastComm.Engine() != f.Engine() {
-				var err error
-				mcastComm, err = core.NewCommunicator(f, f.Graph().Hosts()[:nodes], core.Config{Transport: verbs.UD})
-				if err != nil {
-					return err
-				}
-			}
-			if kind == "broadcast" {
-				_, err := mcastComm.RunBroadcast(0, msgBytes)
-				return err
-			}
-			_, err := mcastComm.RunAllgather(msgBytes)
-			return err
-		}
-	}
-	var team *coll.Team
-	teamRun := func(kind string) runner {
-		return func(f *fabric.Fabric) error {
-			if team == nil || team.Engine() != f.Engine() {
-				var err error
-				team, err = coll.NewTeamOn(f, f.Graph().Hosts()[:nodes], coll.Config{})
-				if err != nil {
-					return err
-				}
-			}
-			if kind == "broadcast" {
-				_, err := team.RunKnomialBroadcast(0, msgBytes)
-				return err
-			}
-			_, err := team.RunRingAllgather(msgBytes)
-			return err
-		}
-	}
-
-	mcB, err := measure("mcast-broadcast", mcastRun("broadcast"))
+	bcast := collective.Op{Kind: collective.Broadcast, Bytes: msgBytes}
+	ag := collective.Op{Kind: collective.Allgather, Bytes: msgBytes}
+	mcB, err := measure("mcast-broadcast", bcast)
 	if err != nil {
 		return nil, err
 	}
-	mcastComm = nil
-	p2pB, err := measure("knomial-broadcast", teamRun("broadcast"))
+	p2pB, err := measure("knomial-broadcast", bcast)
 	if err != nil {
 		return nil, err
 	}
-	team = nil
-	mcA, err := measure("mcast-allgather", mcastRun("allgather"))
+	mcA, err := measure("mcast-allgather", ag)
 	if err != nil {
 		return nil, err
 	}
-	mcastComm = nil
-	p2pA, err := measure("ring-allgather", teamRun("allgather"))
+	p2pA, err := measure("ring-allgather", ag)
 	if err != nil {
 		return nil, err
 	}
@@ -427,71 +376,58 @@ type AppBPoint struct {
 }
 
 // AppBConcurrent measures both configurations with per-rank buffer n on a
-// star fabric (full-bandwidth, as Appendix B assumes).
+// star fabric (full-bandwidth, as Appendix B assumes). Both pairs run
+// concurrently through the registry's non-blocking Starter surface on a
+// shared cluster, contending for the same NICs.
 func AppBConcurrent(ps []int, n int) ([]AppBPoint, error) {
-	var out []AppBPoint
-	for _, p := range ps {
-		// Configuration 1: ring AG + ring RS sharing NICs.
-		eng := sim.NewEngine(uint64(p))
+	// pair starts an Allgather and a Reduce-Scatter together on one fresh
+	// star system and returns the span from first start to last finish.
+	pair := func(p int, seed uint64, agAlgo string, agCore core.Config, rsAlgo string) (sim.Time, error) {
+		eng := sim.NewEngine(seed)
 		g := topology.Star(p)
 		f := fabric.New(eng, g, fabric.Config{})
 		cl := cluster.New(f, cluster.Config{})
-		agT, err := coll.NewTeam(cl, g.Hosts(), coll.Config{})
+		ag, err := registry.New(cl, agAlgo, registry.Options{Core: agCore})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		rsT, err := coll.NewTeam(cl, g.Hosts(), coll.Config{})
+		rs, err := registry.New(cl, rsAlgo, registry.Options{})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		var agR, rsR *coll.Result
-		if err := agT.StartRingAllgather(n, func(r *coll.Result) { agR = r }); err != nil {
-			return nil, err
+		var agR, rsR *collective.Result
+		if err := ag.(collective.Starter).Start(collective.Op{Kind: collective.Allgather, Bytes: n},
+			func(r *collective.Result) { agR = r }); err != nil {
+			return 0, err
 		}
-		if err := rsT.StartRingReduceScatter(n, func(r *coll.Result) { rsR = r }); err != nil {
-			return nil, err
+		if err := rs.(collective.Starter).Start(collective.Op{Kind: collective.ReduceScatter, Bytes: n},
+			func(r *collective.Result) { rsR = r }); err != nil {
+			return 0, err
 		}
 		eng.Run()
 		if agR == nil || rsR == nil {
-			return nil, fmt.Errorf("harness: ring pair did not complete at P=%d", p)
+			return 0, fmt.Errorf("harness: {%s, %s} pair did not complete at P=%d", agAlgo, rsAlgo, p)
 		}
-		ringPair := maxTime(agR.End, rsR.End) - minTime(agR.Start, rsR.Start)
+		return maxTime(agR.End, rsR.End) - minTime(agR.Start, rsR.Start), nil
+	}
 
-		// Configuration 2: multicast AG + INC RS.
-		eng2 := sim.NewEngine(uint64(p) + 1)
-		g2 := topology.Star(p)
-		f2 := fabric.New(eng2, g2, fabric.Config{})
-		cl2 := cluster.New(f2, cluster.Config{})
-		// All chains run concurrently: with the send path otherwise consumed
-		// by the Reduce-Scatter stream, spreading each root's injection over
-		// the whole operation (multicast parallelism, §IV-A) is what lets
-		// the Allgather live on the receive path alone.
-		comm, err := core.NewCommunicatorOn(cl2, g2.Hosts(), core.Config{Transport: verbs.UD, Chains: p, Subgroups: 4})
+	var out []AppBPoint
+	for _, p := range ps {
+		// Configuration 1: ring AG + ring RS sharing NICs.
+		ringPair, err := pair(p, uint64(p), "ring-allgather", core.Config{}, "ring-reduce-scatter")
 		if err != nil {
 			return nil, err
 		}
-		rsT2, err := coll.NewTeam(cl2, g2.Hosts(), coll.Config{})
+		// Configuration 2: multicast AG + INC RS. All chains run
+		// concurrently: with the send path otherwise consumed by the
+		// Reduce-Scatter stream, spreading each root's injection over the
+		// whole operation (multicast parallelism, §IV-A) is what lets the
+		// Allgather live on the receive path alone.
+		incPair, err := pair(p, uint64(p)+1, "mcast-allgather",
+			core.Config{Transport: verbs.UD, Chains: p, Subgroups: 4}, "inc-reduce-scatter")
 		if err != nil {
 			return nil, err
 		}
-		rg, err := f2.CreateReduceGroup(g2.Switches()[0], g2.Hosts())
-		if err != nil {
-			return nil, err
-		}
-		var agR2 *core.Result
-		var rsR2 *coll.Result
-		if err := comm.StartAllgather(n, func(r *core.Result) { agR2 = r }); err != nil {
-			return nil, err
-		}
-		if err := rsT2.StartINCReduceScatter(rg, n, func(r *coll.Result) { rsR2 = r }); err != nil {
-			return nil, err
-		}
-		eng2.Run()
-		if agR2 == nil || rsR2 == nil {
-			return nil, fmt.Errorf("harness: INC pair did not complete at P=%d", p)
-		}
-		incPair := maxTime(agR2.End, rsR2.End) - minTime(agR2.Start, rsR2.Start)
-
 		out = append(out, AppBPoint{
 			P:        p,
 			RingPair: ringPair,

@@ -124,6 +124,9 @@ func TestFig15LargerChunksNeedFewerThreads(t *testing.T) {
 }
 
 func TestFig16Reaches16TbitWithin128Threads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("128-thread Tbit/s scaling sweep (several seconds)")
+	}
 	pts := Fig16TbitScaling([]int{64, 128})
 	reached := map[string]bool{}
 	for _, p := range pts {

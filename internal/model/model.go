@@ -40,15 +40,11 @@ func NewTrafficModel(g *topology.Graph) (*TrafficModel, error) {
 		}
 		m.hops[i] = row
 	}
-	maxLevel := 0
-	var root topology.NodeID
-	for _, n := range g.Nodes {
-		if n.Kind == topology.Switch && n.Level > maxLevel {
-			maxLevel = n.Level
-			root = n.ID
-		}
+	roots := g.TopSwitches()
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("model: topology has no switch to root a multicast tree")
 	}
-	mt, err := g.BuildMulticastTree(root, hosts)
+	mt, err := g.BuildMulticastTree(roots[0], hosts)
 	if err != nil {
 		return nil, err
 	}

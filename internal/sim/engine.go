@@ -52,6 +52,7 @@ type Event struct {
 	at       Time
 	seq      uint64
 	index    int // heap index; -1 once popped or cancelled
+	eng      *Engine
 	fn       func()
 	canceled bool
 }
@@ -59,9 +60,18 @@ type Event struct {
 // Time returns the virtual time at which the event fires.
 func (e *Event) Time() Time { return e.at }
 
-// Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+// Cancel prevents a pending event from firing and removes it from the
+// engine's queue immediately, so long-lived timers (cutoff, retransmit)
+// that are cancelled and re-armed do not accumulate as dead heap entries
+// until their original firing time. Cancelling an event that has already
+// fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() {
+	e.canceled = true
+	if e.index >= 0 && e.eng != nil {
+		heap.Remove(&e.eng.queue, e.index)
+		e.fn = nil // release the closure
+	}
+}
 
 // Canceled reports whether Cancel was called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
@@ -128,7 +138,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := &Event{at: t, seq: e.seq, eng: e, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -142,8 +152,8 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
-// Pending returns the number of events still queued (including cancelled
-// events that have not yet been discarded).
+// Pending returns the number of events still queued. Cancelled events are
+// removed from the queue at Cancel time and do not count.
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // Stop makes the current Run/RunUntil call return after the in-flight event

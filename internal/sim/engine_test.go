@@ -82,6 +82,40 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+func TestCancelRemovesFromQueue(t *testing.T) {
+	e := NewEngine(1)
+	// Interleave keepers and victims so removal has to fix up the heap
+	// interior, not just the root or tail.
+	var victims []*Event
+	for i := 0; i < 10; i++ {
+		at := Time(10 + 10*i)
+		if i%2 == 0 {
+			victims = append(victims, e.At(at, func() { t.Errorf("cancelled event at %v fired", at) }))
+		} else {
+			e.At(at, func() {})
+		}
+	}
+	if got := e.Pending(); got != 10 {
+		t.Fatalf("Pending = %d before cancel, want 10", got)
+	}
+	for i, ev := range victims {
+		ev.Cancel()
+		if got, want := e.Pending(), 10-(i+1); got != want {
+			t.Fatalf("Pending = %d after cancelling %d events, want %d (cancel must remove immediately)", got, i+1, want)
+		}
+	}
+	// Double-cancel and post-run cancel stay no-ops.
+	victims[0].Cancel()
+	if got := e.Pending(); got != 5 {
+		t.Fatalf("Pending = %d after double cancel, want 5", got)
+	}
+	e.Run()
+	if e.Executed != 5 {
+		t.Fatalf("Executed = %d, want the 5 surviving events", e.Executed)
+	}
+	victims[1].Cancel()
+}
+
 func TestCancelFromEarlierEvent(t *testing.T) {
 	e := NewEngine(1)
 	fired := false

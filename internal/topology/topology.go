@@ -94,6 +94,25 @@ func (g *Graph) Hosts() []NodeID {
 	return hs
 }
 
+// TopSwitches returns every switch at the topology's highest level (the
+// spine/core tier) in node order: the candidate roots for multicast and
+// reduction trees. Empty if the graph has no switches.
+func (g *Graph) TopSwitches() []NodeID {
+	maxLevel := 0
+	for _, n := range g.Nodes {
+		if n.Kind == Switch && n.Level > maxLevel {
+			maxLevel = n.Level
+		}
+	}
+	var out []NodeID
+	for _, n := range g.Nodes {
+		if n.Kind == Switch && n.Level == maxLevel {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
 // Switches returns the IDs of all switch nodes in ascending order.
 func (g *Graph) Switches() []NodeID {
 	var ss []NodeID
