@@ -1,42 +1,68 @@
 // Command agbench regenerates the at-scale collective experiments on the
-// 188-node UCC-testbed model: Figure 10 (protocol critical-path breakdown)
-// and Figure 11 (Broadcast/Allgather throughput against P2P baselines).
+// 188-node UCC-testbed model: Figure 10 (protocol critical-path breakdown,
+// median phase fractions across ranks) and Figure 11 (Broadcast/Allgather
+// throughput against P2P baselines). Each figure is a declarative grid
+// executed on the sweep engine's worker pool.
 //
 // Usage:
 //
 //	agbench -fig 10 [-nodes 4,16,64,188] [-sizes 4096,65536,1048576]
-//	agbench -fig 11 [-nodes 188] [-sizes ...]
+//	agbench -fig 11 [-nodes 188] [-sizes ...] [-json fig11.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+
 	"strconv"
 	"strings"
-	"text/tabwriter"
 
+	"repro/internal/cli"
 	"repro/internal/harness"
+	"repro/internal/sweep"
 )
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (10 or 11)")
 	nodesFlag := flag.String("nodes", "", "comma-separated node counts (fig 10) or single count (fig 11)")
 	sizesFlag := flag.String("sizes", "", "comma-separated message sizes in bytes")
+	jsonPath := flag.String("json", "", "write sweep records as JSON to this path")
+	csvPath := flag.String("csv", "", "write sweep records as CSV to this path")
 	flag.Parse()
 
+	var recs []sweep.Record
+	var err error
 	switch *fig {
 	case 10:
 		nodes := parseInts(*nodesFlag, []int{4, 16, 64, 188})
 		sizes := parseInts(*sizesFlag, []int{4096, 65536, 1 << 20})
-		fig10(nodes, sizes)
+		fmt.Println("== Figure 10: Allgather critical-path breakdown (median across ranks) ==")
+		recs, err = harness.Fig10Records(nodes, sizes)
 	case 11:
 		nodes := parseInts(*nodesFlag, []int{188})
 		sizes := parseInts(*sizesFlag, []int{16 << 10, 64 << 10, 256 << 10, 1 << 20})
-		fig11(nodes[0], sizes)
+		fmt.Printf("== Figure 11: per-rank receive throughput at %d nodes (56 Gbit/s links) ==\n", nodes[0])
+		recs, err = harness.Fig11Records(nodes[0], sizes)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err != nil {
+		cli.Fatalf(1, "agbench: %v", err)
+	}
+	if err := sweep.WriteTable(os.Stdout, recs); err != nil {
+		cli.Fatalf(1, "agbench: %v", err)
+	}
+	switch *fig {
+	case 10:
+		fmt.Println("paper: from 16 nodes on, 99% of progress-path time is the multicast datapath.")
+	case 11:
+		fmt.Println("paper: mcast broadcast beats k-nomial/binary tree; mcast allgather matches ring at 128-256 KiB.")
+	}
+	name := fmt.Sprintf("agbench-fig%d", *fig)
+	if err := sweep.WriteFiles(sweep.Report{Name: name, Records: recs}, *jsonPath, *csvPath); err != nil {
+		cli.Fatalf(1, "agbench: %v", err)
 	}
 }
 
@@ -48,55 +74,9 @@ func parseInts(s string, def []int) []int {
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "agbench: bad integer %q\n", part)
-			os.Exit(2)
+			cli.Fatalf(2, "agbench: bad integer %q", part)
 		}
 		out = append(out, v)
 	}
 	return out
-}
-
-func fig10(nodes, sizes []int) {
-	fmt.Println("== Figure 10: Allgather critical-path breakdown (median across ranks) ==")
-	pts, err := harness.Fig10Breakdown(nodes, sizes)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "agbench:", err)
-		os.Exit(1)
-	}
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "nodes\tmessage\tRNR sync\tmulticast\tfinal sync\ttotal")
-	for _, p := range pts {
-		fmt.Fprintf(w, "%d\t%s\t%.1f%%\t%.1f%%\t%.1f%%\t%v\n",
-			p.Nodes, size(p.MsgBytes),
-			p.BarrierFrac*100, p.McastFrac*100, p.FinalFrac*100, p.Total)
-	}
-	w.Flush()
-	fmt.Println("paper: from 16 nodes on, 99% of progress-path time is the multicast datapath.")
-}
-
-func fig11(nodes int, sizes []int) {
-	fmt.Printf("== Figure 11: per-rank receive throughput at %d nodes (56 Gbit/s links) ==\n", nodes)
-	pts, err := harness.Fig11Throughput(nodes, sizes)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "agbench:", err)
-		os.Exit(1)
-	}
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "operation\talgorithm\tmessage\tGiB/s")
-	for _, p := range pts {
-		fmt.Fprintf(w, "%s\t%s\t%s\t%.3f\n", p.Op, p.Algo, size(p.MsgBytes), p.GiBps)
-	}
-	w.Flush()
-	fmt.Println("paper: mcast broadcast beats k-nomial/binary tree; mcast allgather matches ring at 128-256 KiB.")
-}
-
-func size(n int) string {
-	switch {
-	case n >= 1<<20 && n%(1<<20) == 0:
-		return fmt.Sprintf("%dMiB", n>>20)
-	case n >= 1<<10 && n%(1<<10) == 0:
-		return fmt.Sprintf("%dKiB", n>>10)
-	default:
-		return fmt.Sprintf("%dB", n)
-	}
 }

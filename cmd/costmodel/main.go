@@ -2,23 +2,26 @@
 // (theoretical traffic savings on a 1024-node radix-32 fat-tree), Figure 7
 // (bitmap and receive-buffer sizing vs PSN bits) and the Appendix B
 // speedup of {multicast Allgather + INC Reduce-Scatter}, both from the
-// closed-form model and measured on the simulator.
+// closed-form model and measured on the simulator. Every artifact is
+// produced as sweep records — the closed-form figures through pure-model
+// kernels, Appendix B on the sweep engine's worker pool.
 //
 // Usage:
 //
 //	costmodel -fig 2|7
 //	costmodel -speedup
-//	costmodel -all
+//	costmodel -all -json costmodel.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"text/tabwriter"
 
+	"repro/internal/cli"
 	"repro/internal/harness"
 	"repro/internal/model"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -26,114 +29,119 @@ func main() {
 	speedup := flag.Bool("speedup", false, "Appendix B concurrent {AG,RS} study")
 	economics := flag.Bool("economics", false, "§VII SmartNIC offloading economics")
 	all := flag.Bool("all", false, "run everything")
+	jsonPath := flag.String("json", "", "write all produced sweep records as JSON to this path")
+	csvPath := flag.String("csv", "", "write all produced sweep records as CSV to this path")
 	flag.Parse()
 	if !*all && *fig == 0 && !*speedup && !*economics {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *fig != 0 && *fig != 2 && *fig != 7 {
+		cli.Fatalf(2, "costmodel: unknown figure %d (have 2 and 7)", *fig)
+	}
+
+	var produced []sweep.Record
+	emit := func(header string, note string, recs []sweep.Record) {
+		fmt.Println("\n" + header)
+		if err := sweep.WriteTable(os.Stdout, recs); err != nil {
+			cli.Fatalf(1, "costmodel: %v", err)
+		}
+		fmt.Println(note)
+		produced = append(produced, recs...)
+	}
+
 	if *all || *fig == 2 {
-		fig2()
+		recs, err := fig2Records()
+		if err != nil {
+			cli.Fatalf(1, "costmodel: %v", err)
+		}
+		emit("== Figure 2: theoretical Allgather traffic, 1024 nodes, radix-32 fat-tree ==",
+			"paper: multicast-based Allgather halves total network traffic at scale.", recs)
 	}
 	if *all || *fig == 7 {
-		fig7()
+		emit("== Figure 7: bitmap and receive-buffer sizes vs PSN bits (4 KiB chunks) ==",
+			fmt.Sprintf("LLC-limited receive buffer: %.1f GB (paper: ~50 GB); communicators fitting the LLC: %d (paper: >16).",
+				model.MaxBufferFittingLLC(4096)/1e9,
+				model.CommunicatorsFittingLLC(64<<10, 16<<10)),
+			fig7Records())
 	}
 	if *all || *speedup {
-		appB()
+		recs, err := harness.AppBRecords([]int{2, 4, 8, 16}, 1<<20)
+		if err != nil {
+			cli.Fatalf(1, "costmodel: %v", err)
+		}
+		emit("== Appendix B: concurrent {Allgather, Reduce-Scatter} span (model_speedup: 2 - 2/P) ==",
+			"paper: concurrent collectives speed up by up to 2x at scale (ring-pair span / inc-pair span).", recs)
 	}
 	if *all || *economics {
-		econ()
+		emit("== §VII: economics of SmartNIC offloading (SuperPOD node) ==",
+			"paper: NICs ~2.5x lower cost and ~7x lower energy than the CPUs.", econRecords())
+	}
+	if err := sweep.WriteFiles(sweep.Report{Name: "costmodel", Records: produced}, *jsonPath, *csvPath); err != nil {
+		cli.Fatalf(1, "costmodel: %v", err)
 	}
 }
 
-func econ() {
-	fmt.Println("\n== \u00a7VII: economics of SmartNIC offloading (SuperPOD node) ==")
-	in := model.SuperPODNode()
-	r := in.Economics()
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "links\t%d x %.0f Gbit/s\n", in.Links, in.LinkGbps)
-	fmt.Fprintf(w, "CPU cores to drive links (both directions)\t%.0f\n", r.CoresNeeded)
-	fmt.Fprintf(w, "host CPUs (%d sockets)\t$%.0f\t%.0f W\n", in.Sockets, r.CPUCost, r.CPUWatts)
-	fmt.Fprintf(w, "DPA SmartNICs (%d)\t$%.0f\t%.0f W\n", in.Links, r.NICCost, r.NICWatts)
-	fmt.Fprintf(w, "NIC advantage\t%.1fx cheaper\t%.1fx less power\n", r.CostAdvantage, r.PowerAdvantage)
-	w.Flush()
-	fmt.Println("paper: NICs ~2.5x lower cost and ~7x lower energy than the CPUs.")
-}
-
-func fig2() {
-	fmt.Println("\n== Figure 2: theoretical Allgather traffic, 1024 nodes, radix-32 fat-tree ==")
+// fig2Records evaluates the closed-form traffic model over a send-buffer
+// grid — an analytic sweep, no simulation engine involved.
+func fig2Records() ([]sweep.Record, error) {
 	g, err := model.Fig2Cluster()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "costmodel:", err)
-		os.Exit(1)
+		return nil, err
 	}
 	m, err := model.NewTrafficModel(g)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "costmodel:", err)
-		os.Exit(1)
+		return nil, err
 	}
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "send buffer\tring AG bytes\tlinear AG bytes\tmcast AG bytes\tsavings (ring/mcast)")
-	for _, n := range []int{64 << 10, 256 << 10, 1 << 20, 4 << 20} {
-		fmt.Fprintf(w, "%s\t%.3g\t%.3g\t%.3g\t%.2fx\n",
-			size(n), m.RingAllgatherBytes(n), m.LinearAllgatherBytes(n),
-			m.McastAllgatherBytes(n), m.Savings(n))
-	}
-	w.Flush()
-	fmt.Println("paper: multicast-based Allgather halves total network traffic at scale.")
+	grid := sweep.Grid{MsgBytes: []int{64 << 10, 256 << 10, 1 << 20, 4 << 20}}
+	return sweep.RunGrid(grid, 0, func(s sweep.Spec) (sweep.Record, error) {
+		return sweep.Record{Spec: s, Metrics: map[string]float64{
+			"ring_ag_bytes":   m.RingAllgatherBytes(s.MsgBytes),
+			"linear_ag_bytes": m.LinearAllgatherBytes(s.MsgBytes),
+			"mcast_ag_bytes":  m.McastAllgatherBytes(s.MsgBytes),
+			"savings":         m.Savings(s.MsgBytes),
+		}}, nil
+	})
 }
 
-func fig7() {
-	fmt.Println("\n== Figure 7: bitmap and receive-buffer sizes vs PSN bits (4 KiB chunks) ==")
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "PSN bits\tmax recv buffer\tbitmap\tfits DPA LLC (1.5 MB)")
-	for _, p := range model.BitmapModel(16, 28, 4096) {
-		fmt.Fprintf(w, "%d\t%s\t%s\t%v\n",
-			p.PSNBits, human(p.MaxRecvBuffer), human(p.BitmapBytes), p.FitsDPALLC)
+// fig7Records renders the PSN-bits sizing model; psn_bits is the swept
+// quantity, carried as a metric column.
+func fig7Records() []sweep.Record {
+	var recs []sweep.Record
+	for i, p := range model.BitmapModel(16, 28, 4096) {
+		fits := 0.0
+		if p.FitsDPALLC {
+			fits = 1
+		}
+		recs = append(recs, sweep.Record{
+			Spec: sweep.Spec{ChunkSize: 4096, Index: i},
+			Metrics: map[string]float64{
+				"psn_bits":        float64(p.PSNBits),
+				"max_recv_buffer": p.MaxRecvBuffer,
+				"bitmap_bytes":    p.BitmapBytes,
+				"fits_dpa_llc":    fits,
+			},
+		})
 	}
-	w.Flush()
-	fmt.Printf("LLC-limited receive buffer: %s (paper: ~50 GB).\n", human(model.MaxBufferFittingLLC(4096)))
-	fmt.Printf("communicators fitting the LLC (64 KiB bitmap + 16 KiB ctx): %d (paper: >16).\n",
-		model.CommunicatorsFittingLLC(64<<10, 16<<10))
+	return recs
 }
 
-func appB() {
-	fmt.Println("\n== Appendix B: concurrent {Allgather, Reduce-Scatter} speedup ==")
-	pts, err := harness.AppBConcurrent([]int{2, 4, 8, 16}, 1<<20)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "costmodel:", err)
-		os.Exit(1)
-	}
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "P\t{AGring,RSring}\t{AGmcast,RSinc}\tmeasured speedup\tmodel 2-2/P")
-	for _, p := range pts {
-		fmt.Fprintf(w, "%d\t%v\t%v\t%.2fx\t%.2fx\n", p.P, p.RingPair, p.IncPair, p.Speedup, p.Model)
-	}
-	w.Flush()
-	fmt.Println("paper: concurrent collectives speed up by up to 2x at scale.")
-}
-
-func size(n int) string {
-	switch {
-	case n >= 1<<20 && n%(1<<20) == 0:
-		return fmt.Sprintf("%dMiB", n>>20)
-	case n >= 1<<10 && n%(1<<10) == 0:
-		return fmt.Sprintf("%dKiB", n>>10)
-	default:
-		return fmt.Sprintf("%dB", n)
-	}
-}
-
-func human(b float64) string {
-	switch {
-	case b >= 1<<40:
-		return fmt.Sprintf("%.1f TiB", b/(1<<40))
-	case b >= 1<<30:
-		return fmt.Sprintf("%.1f GiB", b/(1<<30))
-	case b >= 1<<20:
-		return fmt.Sprintf("%.1f MiB", b/(1<<20))
-	case b >= 1<<10:
-		return fmt.Sprintf("%.1f KiB", b/(1<<10))
-	default:
-		return fmt.Sprintf("%.0f B", b)
-	}
+// econRecords reports the §VII cost/power comparison as one record.
+func econRecords() []sweep.Record {
+	in := model.SuperPODNode()
+	r := in.Economics()
+	return []sweep.Record{{
+		Spec: sweep.Spec{Algorithm: "superpod-node"},
+		Metrics: map[string]float64{
+			"links":           float64(in.Links),
+			"link_gbps":       in.LinkGbps,
+			"cores_needed":    r.CoresNeeded,
+			"cpu_cost_usd":    r.CPUCost,
+			"cpu_watts":       r.CPUWatts,
+			"nic_cost_usd":    r.NICCost,
+			"nic_watts":       r.NICWatts,
+			"cost_advantage":  r.CostAdvantage,
+			"power_advantage": r.PowerAdvantage,
+		},
+	}}
 }

@@ -1,143 +1,102 @@
 // Command dpabench regenerates the SmartNIC-offloading experiments of the
 // paper's evaluation: Figure 5 (single CPU core vs single DPA core),
 // Table I (single-thread datapath metrics), Figures 13/14 (DPA thread
-// scaling), Figure 15 (UC multi-packet chunks) and Figure 16 (scaling to
-// 1.6 Tbit/s links).
+// scaling — one sweep; Figure 14 is its link-share column), Figure 15 (UC
+// multi-packet chunks) and Figure 16 (scaling to 1.6 Tbit/s links). Every
+// experiment is a declarative grid executed on the sweep engine's worker
+// pool.
 //
 // Usage:
 //
 //	dpabench -fig 5|13|14|15|16
 //	dpabench -table 1
-//	dpabench -all
+//	dpabench -all -json dpabench.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"text/tabwriter"
 
+	"repro/internal/cli"
 	"repro/internal/harness"
+	"repro/internal/sweep"
 )
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (5, 13, 14, 15, 16)")
 	table := flag.Int("table", 0, "table to regenerate (1)")
 	all := flag.Bool("all", false, "run every DPA experiment")
+	jsonPath := flag.String("json", "", "write all produced sweep records as JSON to this path")
+	csvPath := flag.String("csv", "", "write all produced sweep records as CSV to this path")
 	flag.Parse()
 
 	if !*all && *fig == 0 && *table == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *all || *fig == 5 {
-		fig5()
-	}
-	if *all || *table == 1 {
-		table1()
-	}
-	if *all || *fig == 13 {
-		fig13()
-	}
-	if *all || *fig == 14 {
-		fig14()
-	}
-	if *all || *fig == 15 {
-		fig15()
-	}
-	if *all || *fig == 16 {
-		fig16()
-	}
-}
-
-func newTab() *tabwriter.Writer {
-	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-}
-
-func fig5() {
-	fmt.Println("\n== Figure 5: single-threaded CPU vs single-core DPA UD datapath (200 Gbit/s link) ==")
-	sizes := []int{16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 8 << 20}
-	w := newTab()
-	fmt.Fprintln(w, "message\tCPU 1-thread Gbit/s\tDPA 1-core Gbit/s\tlink Gbit/s")
-	for _, p := range harness.Fig5SingleCore(sizes) {
-		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.0f\n", size(p.MsgBytes), p.CPUGbps, p.DPAGbps, p.LinkGbps)
-	}
-	w.Flush()
-	fmt.Println("paper: one CPU core sustains ~1/2-2/3 of 200 Gbit/s; one DPA core reaches peak.")
-}
-
-func table1() {
-	fmt.Println("\n== Table I: single DPA thread, 8 MiB buffer, 4 KiB chunks ==")
-	w := newTab()
-	fmt.Fprintln(w, "datapath\tthroughput GiB/s\tinstructions/CQE\tcycles/CQE\tIPC")
-	for _, r := range harness.Table1SingleThread() {
-		fmt.Fprintf(w, "%s\t%.1f\t%d\t%d\t%.2f\n",
-			r.Datapath, r.ThroughputGiBps, r.InstructionsCQE, r.CyclesCQE, r.IPC)
-	}
-	w.Flush()
-	fmt.Println("paper: UC 11.9 GiB/s, 66 instr, 598 cycles, IPC 0.11; UD 5.2 GiB/s, 113 instr, 1084 cycles, IPC 0.10.")
-}
-
-func fig13() {
-	fmt.Println("\n== Figure 13: DPA thread scaling, 8 MiB receive buffer, 4 KiB chunks ==")
-	pts, base := harness.Fig13ThreadScaling([]int{1, 2, 4, 8, 16})
-	w := newTab()
-	fmt.Fprintln(w, "datapath\tthreads\tGiB/s\tlink share")
-	for _, p := range pts {
-		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\n", p.Transport, p.Threads, p.GiBps, p.LinkShare)
-	}
-	fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\n", base.Transport, base.Threads, base.GiBps, base.LinkShare)
-	w.Flush()
-	fmt.Println("paper: UC reaches full throughput with 4 threads; UD needs 8-16.")
-}
-
-func fig14() {
-	fmt.Println("\n== Figure 14: fraction of 200 Gbit/s peak vs DPA threads (4 KiB chunks) ==")
-	pts, _ := harness.Fig13ThreadScaling([]int{1, 2, 4, 8, 16})
-	w := newTab()
-	fmt.Fprintln(w, "datapath\tthreads\t% of peak")
-	for _, p := range pts {
-		fmt.Fprintf(w, "%s\t%d\t%.0f%%\n", p.Transport, p.Threads, p.LinkShare*100)
-	}
-	w.Flush()
-	fmt.Println("paper: with 1/256 of DPA capacity, UC reaches 1/2 and UD 1/5 of peak.")
-}
-
-func fig15() {
-	fmt.Println("\n== Figure 15: UC throughput vs multi-packet chunk size (8 MiB buffer) ==")
-	pts := harness.Fig15ChunkSize(
-		[]int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10},
-		[]int{1, 2, 4},
-	)
-	w := newTab()
-	fmt.Fprintln(w, "chunk\tthreads\tGiB/s\tlink share")
-	for _, p := range pts {
-		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\n", size(p.ChunkBytes), p.Threads, p.GiBps, p.LinkShare)
-	}
-	w.Flush()
-	fmt.Println("paper: with larger chunks DPA sustains line rate with fewer threads.")
-}
-
-func fig16() {
-	fmt.Println("\n== Figure 16: sustained 64 B chunk processing rate vs DPA threads ==")
-	pts := harness.Fig16TbitScaling([]int{1, 2, 4, 8, 16, 32, 64, 128})
-	w := newTab()
-	fmt.Fprintln(w, "datapath\tthreads\tMchunks/s\tx 1.6 Tbit/s target")
-	for _, p := range pts {
-		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.2f\n", p.Transport, p.Threads, p.ChunkRate/1e6, p.LinkShare)
-	}
-	w.Flush()
-	fmt.Printf("target: %.1f Mchunks/s (1.6 Tbit/s at 4 KiB MTU). paper: 128 threads sustain it.\n",
-		harness.Tbit16Target/1e6)
-}
-
-func size(n int) string {
-	switch {
-	case n >= 1<<20 && n%(1<<20) == 0:
-		return fmt.Sprintf("%dMiB", n>>20)
-	case n >= 1<<10 && n%(1<<10) == 0:
-		return fmt.Sprintf("%dKiB", n>>10)
+	switch *fig {
+	case 0, 5, 13, 14, 15, 16:
 	default:
-		return fmt.Sprintf("%dB", n)
+		cli.Fatalf(2, "dpabench: unknown figure %d (have 5, 13, 14, 15, 16)", *fig)
+	}
+	if *table != 0 && *table != 1 {
+		cli.Fatalf(2, "dpabench: unknown table %d (have 1)", *table)
+	}
+
+	type experiment struct {
+		enabled bool
+		header  string
+		note    string
+		run     func() ([]sweep.Record, error)
+	}
+	experiments := []experiment{
+		{*all || *fig == 5,
+			"== Figure 5: single-threaded CPU vs single-core DPA UD datapath (200 Gbit/s link) ==",
+			"paper: one CPU core sustains ~1/2-2/3 of 200 Gbit/s; one DPA core reaches peak.",
+			func() ([]sweep.Record, error) {
+				return harness.Fig5Records([]int{16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 8 << 20})
+			}},
+		{*all || *table == 1,
+			"== Table I: single DPA thread, 8 MiB buffer, 4 KiB chunks ==",
+			"paper: UC 11.9 GiB/s, 66 instr, 598 cycles, IPC 0.11; UD 5.2 GiB/s, 113 instr, 1084 cycles, IPC 0.10.",
+			harness.Table1Records},
+		{*all || *fig == 13 || *fig == 14,
+			"== Figures 13/14: DPA thread scaling, 8 MiB receive buffer, 4 KiB chunks (last row: CPU baseline) ==",
+			"paper: UC reaches full throughput with 4 threads; UD needs 8-16 (1/256 of DPA capacity: UC 1/2, UD 1/5 of peak).",
+			func() ([]sweep.Record, error) { return harness.Fig13Records([]int{1, 2, 4, 8, 16}) }},
+		{*all || *fig == 15,
+			"== Figure 15: UC throughput vs multi-packet chunk size (8 MiB buffer) ==",
+			"paper: with larger chunks DPA sustains line rate with fewer threads.",
+			func() ([]sweep.Record, error) {
+				return harness.Fig15Records(
+					[]int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10},
+					[]int{1, 2, 4})
+			}},
+		{*all || *fig == 16,
+			"== Figure 16: sustained 64 B chunk processing rate vs DPA threads (link_share: x 1.6 Tbit/s target) ==",
+			fmt.Sprintf("target: %.1f Mchunks/s (1.6 Tbit/s at 4 KiB MTU). paper: 128 threads sustain it.",
+				harness.Tbit16Target/1e6),
+			func() ([]sweep.Record, error) { return harness.Fig16Records([]int{1, 2, 4, 8, 16, 32, 64, 128}) }},
+	}
+
+	var produced []sweep.Record
+	for _, e := range experiments {
+		if !e.enabled {
+			continue
+		}
+		recs, err := e.run()
+		if err != nil {
+			cli.Fatalf(1, "dpabench: %v", err)
+		}
+		fmt.Println("\n" + e.header)
+		if err := sweep.WriteTable(os.Stdout, recs); err != nil {
+			cli.Fatalf(1, "dpabench: %v", err)
+		}
+		fmt.Println(e.note)
+		produced = append(produced, recs...)
+	}
+	if err := sweep.WriteFiles(sweep.Report{Name: "dpabench", Records: produced}, *jsonPath, *csvPath); err != nil {
+		cli.Fatalf(1, "dpabench: %v", err)
 	}
 }

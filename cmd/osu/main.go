@@ -6,34 +6,39 @@
 //
 // Every algorithm is dispatched through the unified registry: the -op and
 // -algo flags join into a registry name (e.g. -op allgather -algo mcast
-// runs "mcast-allgather").
+// runs "mcast-allgather"). The size sweep is a declarative grid executed on
+// the sweep engine's worker pool, so sizes measure in parallel; each grid
+// point builds its own warm communicator and excludes its warm-up
+// iterations.
 //
 // Usage:
 //
 //	osu -op allgather -algo mcast -nodes 32 -sizes 4096:1048576 -iters 20
-//	osu -op broadcast -algo knomial -nodes 188
-//	osu -op allreduce -algo ring -nodes 64
+//	osu -op broadcast -algo knomial -nodes 188 -json bench.json
+//	osu -op allreduce -algo ring -nodes 64 -compare baseline.json -tol 0.05
 //
 // Operations and algorithms: allgather (mcast, ring, linear, rd, bruck),
 // broadcast (mcast, knomial, binary, chain), reduce-scatter (ring, inc),
 // allreduce (ring, mcast — the composed ring Reduce-Scatter + Allgather).
+//
+// -json writes the structured sweep records; -compare diffs them against a
+// previously written baseline and exits 1 if any metric moved more than
+// -tol (relative).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+
+	"slices"
 	"strconv"
 	"strings"
-	"text/tabwriter"
 
-	"repro/internal/cluster"
-	"repro/internal/collective"
-	"repro/internal/fabric"
+	"repro/internal/cli"
+	"repro/internal/harness"
 	"repro/internal/registry"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/topology"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -45,69 +50,65 @@ func main() {
 	warmup := flag.Int("warmup", 2, "warm-up iterations per size (excluded)")
 	linkGbps := flag.Float64("link", 56, "link bandwidth in Gbit/s (testbed: 56)")
 	jitter := flag.Int("jitter", 0, "per-delivery network noise in microseconds (enables run-to-run variability)")
-	seed := flag.Uint64("seed", 1, "simulation seed")
+	seed := flag.Uint64("seed", 1, "base sweep seed (per-point seeds derive from it)")
+	jsonPath := flag.String("json", "", "write sweep records as JSON to this path")
+	csvPath := flag.String("csv", "", "write sweep records as CSV to this path")
+	comparePath := flag.String("compare", "", "baseline BENCH_*.json to diff the records against")
+	tol := flag.Float64("tol", 0.05, "relative tolerance for -compare")
+	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "osu:", err)
-		os.Exit(2)
+		cli.Fatalf(2, "osu: %v", err)
 	}
 	if *nodes < 1 || *nodes > 188 {
-		fmt.Fprintln(os.Stderr, "osu: nodes must be in [1,188]")
-		os.Exit(2)
+		cli.Fatalf(2, "osu: nodes must be in [1,188]")
 	}
-
-	// The communicator persists across iterations and sizes (buffers
-	// cached, QPs warm), as OSU benchmarks do.
-	eng := sim.NewEngine(*seed)
-	g := topology.Testbed188()
-	f := fabric.New(eng, g, fabric.Config{
-		LinkBandwidth: *linkGbps * 1e9 / 8,
-		ReorderJitter: sim.Time(*jitter) * sim.Microsecond,
-	})
+	if *iters < 1 || *warmup < 0 {
+		cli.Fatalf(2, "osu: iters must be >= 1 and warmup >= 0")
+	}
 	name := *algo + "-" + *opFlag
-	alg, err := registry.New(cluster.New(f, cluster.Config{}), name, registry.Options{
-		Hosts: g.Hosts()[:*nodes],
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "osu:", err)
-		os.Exit(2)
+	if !slices.Contains(registry.Names(), name) {
+		cli.Fatalf(2, "osu: unknown algorithm %q (have %v)", name, registry.Names())
 	}
 
+	grid := sweep.Grid{
+		Algorithms: []string{name},
+		Ops:        []string{*opFlag},
+		Nodes:      []int{*nodes},
+		MsgBytes:   sizes,
+		Seed:       *seed,
+	}
+	recs, err := sweep.RunGrid(grid, *workers, harness.OSUKernel(harness.OSUConfig{
+		Iters: *iters, Warmup: *warmup, LinkGbps: *linkGbps, JitterUS: *jitter,
+	}))
+	if err != nil {
+		cli.Fatalf(1, "osu: %v", err)
+	}
+
+	rep := sweep.Report{Name: "osu-" + name, Records: recs}
+	if err := sweep.WriteFiles(rep, *jsonPath, *csvPath); err != nil {
+		cli.Fatalf(1, "osu: %v", err)
+	}
 	fmt.Printf("# OSU-style %s / %s, %d nodes, %.0f Gbit/s links, %d iters (+%d warmup)\n",
 		*opFlag, name, *nodes, *linkGbps, *iters, *warmup)
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "size\tmedian µs\tCI95 low\tCI95 high\tmin µs\tmax µs\tGiB/s")
-	for _, n := range sizes {
-		op := collective.Op{Kind: collective.Kind(*opFlag), Bytes: n}
-		if !alg.Supports(op) {
-			fmt.Fprintf(os.Stderr, "osu: %s does not support %s of %d bytes on %d nodes\n", name, op.Kind, n, *nodes)
-			os.Exit(2)
-		}
-		var lat []float64
-		var recvPerRank float64
-		for i := 0; i < *warmup+*iters; i++ {
-			res, err := alg.Run(op)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "osu: size %d iter %d: %v\n", n, i, err)
-				os.Exit(1)
-			}
-			if i >= *warmup {
-				lat = append(lat, res.Duration().Micros())
-				recvPerRank = res.RecvPerRank()
-			}
-		}
-		s := stats.Summarize(lat)
-		// Bandwidth numerator is the per-rank network receive payload, the
-		// same semantic AlgBandwidth and Figure 11 use. For the multicast
-		// broadcast this averages in the root's zero receive ((P-1)/P · n),
-		// while the P2P broadcasts report a flat n per rank.
-		bw := recvPerRank / (s.Median / 1e6) / (1 << 30)
-		fmt.Fprintf(w, "%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.3f\n",
-			n, s.Median, s.CILow, s.CIHigh, s.Min, s.Max, bw)
+	if err := sweep.WriteTable(os.Stdout, recs); err != nil {
+		cli.Fatalf(1, "osu: %v", err)
 	}
-	w.Flush()
+
+	if *comparePath != "" {
+		base, err := sweep.LoadFile(*comparePath)
+		if err != nil {
+			cli.Fatalf(1, "osu: %v", err)
+		}
+		deltas := sweep.Compare(base, rep, *tol)
+		fmt.Printf("# vs %s (tol %.0f%%):\n", *comparePath, *tol*100)
+		sweep.WriteDeltas(os.Stdout, deltas)
+		if len(deltas) > 0 {
+			os.Exit(1)
+		}
+	}
 }
 
 func parseSizes(s string) ([]int, error) {

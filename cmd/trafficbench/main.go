@@ -1,36 +1,57 @@
 // Command trafficbench regenerates Figure 12: traffic totals across all
 // switch ports of the 188-node fat-tree while running Broadcast and
 // Allgather with multicast and point-to-point algorithms (64 KiB messages,
-// several iterations, matching the paper's counter methodology).
+// several iterations, matching the paper's counter methodology). The four
+// algorithm cells form a grid executed on the sweep engine's worker pool;
+// the savings_vs_p2p column is P2P switch bytes / multicast switch bytes
+// for the same operation.
+//
+// Usage:
+//
+//	trafficbench [-nodes 188] [-msg 65536] [-iters 10] [-json fig12.json]
+//
+// Invalid parameters exit with status 2; simulation failures with 1.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"text/tabwriter"
 
+	"repro/internal/cli"
 	"repro/internal/harness"
+	"repro/internal/sweep"
 )
 
 func main() {
-	nodes := flag.Int("nodes", 188, "participating nodes")
-	msg := flag.Int("msg", 64<<10, "message size in bytes")
-	iters := flag.Int("iters", 10, "measured iterations")
+	nodes := flag.Int("nodes", 188, "participating nodes (2..188)")
+	msg := flag.Int("msg", 64<<10, "message size in bytes (> 0)")
+	iters := flag.Int("iters", 10, "measured iterations (> 0)")
+	jsonPath := flag.String("json", "", "write sweep records as JSON to this path")
+	csvPath := flag.String("csv", "", "write sweep records as CSV to this path")
 	flag.Parse()
+
+	if *nodes < 2 || *nodes > 188 {
+		cli.Fatalf(2, "trafficbench: nodes must be in [2,188], got %d", *nodes)
+	}
+	if *msg <= 0 {
+		cli.Fatalf(2, "trafficbench: msg must be positive, got %d", *msg)
+	}
+	if *iters <= 0 {
+		cli.Fatalf(2, "trafficbench: iters must be positive, got %d", *iters)
+	}
 
 	fmt.Printf("== Figure 12: switch-port traffic, %d nodes, %d B messages, %d iterations ==\n",
 		*nodes, *msg, *iters)
-	rows, err := harness.Fig12Traffic(*nodes, *msg, *iters)
+	recs, err := harness.Fig12Records(*nodes, *msg, *iters)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "trafficbench:", err)
-		os.Exit(1)
+		cli.Fatalf(1, "trafficbench: %v", err)
 	}
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "operation\talgorithm\tswitch-port bytes\tsavings vs P2P")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%s\t%d\t%.2fx\n", r.Op, r.Algo, r.SwitchBytes, r.Savings)
+	if err := sweep.WriteTable(os.Stdout, recs); err != nil {
+		cli.Fatalf(1, "trafficbench: %v", err)
 	}
-	w.Flush()
 	fmt.Println("paper: multicast reduces data movement 1.5x (broadcast) to 2x (allgather).")
+	if err := sweep.WriteFiles(sweep.Report{Name: "trafficbench-fig12", Records: recs}, *jsonPath, *csvPath); err != nil {
+		cli.Fatalf(1, "trafficbench: %v", err)
+	}
 }

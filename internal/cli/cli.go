@@ -1,0 +1,15 @@
+// Package cli holds the few helpers shared verbatim by every cmd binary.
+package cli
+
+import (
+	"fmt"
+	"os"
+)
+
+// Fatalf prints the formatted message to stderr and exits with code.
+// Convention across the binaries: 2 for invalid flags or parameters,
+// 1 for runtime failures.
+func Fatalf(code int, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
+}

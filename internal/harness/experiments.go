@@ -1,20 +1,19 @@
 package harness
 
 import (
-	"fmt"
+	"strings"
 
-	"repro/internal/cluster"
-	"repro/internal/coll"
-	"repro/internal/collective"
-	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/model"
-	"repro/internal/registry"
 	"repro/internal/sim"
-	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/topology"
-	"repro/internal/verbs"
 )
+
+// The typed per-figure views below project the sweep Records (sweeps.go)
+// into the shapes the tests and benchmarks assert on. Every experiment
+// declares a Grid and dispatches through the sweep engine's worker pool, so
+// independent simulations parallelize across OS threads.
 
 // testbedFabric builds the 188-node UCC-testbed model (or a prefix of it)
 // with the paper's 56 Gbit/s ConnectX-3 links.
@@ -40,18 +39,19 @@ type Fig5Point struct {
 
 // Fig5SingleCore sweeps message sizes on a 200 Gbit/s back-to-back link.
 func Fig5SingleCore(sizes []int) []Fig5Point {
-	var out []Fig5Point
-	for _, n := range sizes {
-		cpu := RunRxBench(RxBenchConfig{
-			Transport: verbs.UD, Workers: 1, ChunkBytes: 4096, TotalBytes: n, OnCPU: true,
-		})
-		dpaW := 16
-		dpaRes := RunRxBench(RxBenchConfig{
-			Transport: verbs.UD, Workers: dpaW, ChunkBytes: 4096, TotalBytes: n,
-		})
-		out = append(out, Fig5Point{
-			MsgBytes: n, CPUGbps: cpu.Gbps, DPAGbps: dpaRes.Gbps, LinkGbps: cpu.LinkGbps,
-		})
+	recs, err := Fig5Records(sizes)
+	if err != nil {
+		panic(err) // unreachable for positive sizes, as with RunRxBench
+	}
+	out := make([]Fig5Point, len(sizes))
+	for i := range sizes {
+		cpu, dpa := recs[i], recs[len(sizes)+i]
+		out[i] = Fig5Point{
+			MsgBytes: sizes[i],
+			CPUGbps:  cpu.Metric("gbps"),
+			DPAGbps:  dpa.Metric("gbps"),
+			LinkGbps: cpu.Metric("link_gbps"),
+		}
 	}
 	return out
 }
@@ -70,21 +70,24 @@ type Table1Row struct {
 // Table1SingleThread measures both datapaths with one DPA thread, 8 MiB
 // buffer, 4 KiB chunks.
 func Table1SingleThread() []Table1Row {
-	var rows []Table1Row
-	for _, tr := range []verbs.Transport{verbs.UC, verbs.UD} {
-		r := RunRxBench(RxBenchConfig{Transport: tr, Workers: 1, ChunkBytes: 4096, TotalBytes: 8 << 20})
-		rows = append(rows, Table1Row{
-			Datapath:        tr.String(),
-			ThroughputGiBps: r.GiBps,
-			InstructionsCQE: r.Profile.IssueCycles,
-			CyclesCQE:       r.Profile.LatencyCycles,
-			IPC:             r.IPC,
-		})
+	recs, err := Table1Records()
+	if err != nil {
+		panic(err) // fixed grid, cannot fail
+	}
+	rows := make([]Table1Row, len(recs))
+	for i, r := range recs {
+		rows[i] = Table1Row{
+			Datapath:        strings.ToUpper(r.Spec.Transport),
+			ThroughputGiBps: r.Metric("gibps"),
+			InstructionsCQE: int(r.Metric("instr_cqe")),
+			CyclesCQE:       int(r.Metric("cycles_cqe")),
+			IPC:             r.Metric("ipc"),
+		}
 	}
 	return rows
 }
 
-// --- Figures 13/14: DPA thread scaling -----------------------------------------
+// --- Figures 13/14/15/16: DPA thread scaling -----------------------------------
 
 // ScalingPoint is one (transport, threads) measurement.
 type ScalingPoint struct {
@@ -97,86 +100,63 @@ type ScalingPoint struct {
 	LinkShare  float64
 }
 
-// Fig13ThreadScaling sweeps DPA worker threads for the UD and UC
-// datapaths (8 MiB buffer, 4 KiB chunks) plus the single-thread CPU
-// baseline, as in Figure 13.
-func Fig13ThreadScaling(threadCounts []int) ([]ScalingPoint, ScalingPoint) {
-	type job struct {
-		tr verbs.Transport
-		w  int
+func scalingPoint(r sweep.Record) ScalingPoint {
+	return ScalingPoint{
+		Transport:  strings.ToUpper(r.Spec.Transport),
+		Threads:    r.Spec.Threads,
+		ChunkBytes: r.Spec.ChunkSize,
+		GiBps:      r.Metric("gibps"),
+		Gbps:       r.Metric("gbps"),
+		ChunkRate:  r.Metric("chunk_rate"),
+		LinkShare:  r.Metric("link_share"),
 	}
-	var jobs []job
-	for _, tr := range []verbs.Transport{verbs.UD, verbs.UC} {
-		for _, w := range threadCounts {
-			jobs = append(jobs, job{tr, w})
-		}
-	}
-	pts, _ := parallelMap(len(jobs), func(i int) (ScalingPoint, error) {
-		j := jobs[i]
-		r := RunRxBench(RxBenchConfig{Transport: j.tr, Workers: j.w, ChunkBytes: 4096, TotalBytes: 8 << 20})
-		return ScalingPoint{
-			Transport: j.tr.String(), Threads: j.w, ChunkBytes: 4096,
-			GiBps: r.GiBps, Gbps: r.Gbps, ChunkRate: r.ChunkRate, LinkShare: r.LinkShare,
-		}, nil
-	})
-	cpu := RunRxBench(RxBenchConfig{Transport: verbs.UD, Workers: 1, ChunkBytes: 4096, TotalBytes: 8 << 20, OnCPU: true})
-	baseline := ScalingPoint{
-		Transport: "CPU-UD", Threads: 1, ChunkBytes: 4096,
-		GiBps: cpu.GiBps, Gbps: cpu.Gbps, ChunkRate: cpu.ChunkRate, LinkShare: cpu.LinkShare,
-	}
-	return pts, baseline
 }
 
-// --- Figure 15: UC multi-packet chunks ------------------------------------------
+// Fig13ThreadScaling sweeps DPA worker threads for the UD and UC datapaths
+// (8 MiB buffer, 4 KiB chunks) plus the single-thread CPU baseline, as in
+// Figure 13.
+func Fig13ThreadScaling(threadCounts []int) ([]ScalingPoint, ScalingPoint) {
+	recs, err := Fig13Records(threadCounts)
+	if err != nil {
+		panic(err) // fixed axes, cannot fail
+	}
+	pts := make([]ScalingPoint, len(recs)-1)
+	for i, r := range recs[:len(recs)-1] {
+		pts[i] = scalingPoint(r)
+	}
+	return pts, scalingPoint(recs[len(recs)-1])
+}
 
-// Fig15ChunkSize sweeps the UC chunk size for several thread counts
-// (8 MiB buffer): larger chunks mean fewer CQEs, so fewer threads reach
-// line rate.
+// Fig15ChunkSize sweeps the UC chunk size for several thread counts (8 MiB
+// buffer).
 func Fig15ChunkSize(chunkSizes, threadCounts []int) []ScalingPoint {
-	var pts []ScalingPoint
-	for _, cs := range chunkSizes {
-		for _, w := range threadCounts {
-			r := RunRxBench(RxBenchConfig{Transport: verbs.UC, Workers: w, ChunkBytes: cs, TotalBytes: 8 << 20})
-			pts = append(pts, ScalingPoint{
-				Transport: "UC", Threads: w, ChunkBytes: cs,
-				GiBps: r.GiBps, Gbps: r.Gbps, ChunkRate: r.ChunkRate, LinkShare: r.LinkShare,
-			})
-		}
+	recs, err := Fig15Records(chunkSizes, threadCounts)
+	if err != nil {
+		panic(err)
+	}
+	pts := make([]ScalingPoint, len(recs))
+	for i, r := range recs {
+		pts[i] = scalingPoint(r)
 	}
 	return pts
 }
-
-// --- Figure 16: Tbit/s chunk-rate scaling ---------------------------------------
 
 // Tbit16Target is the chunk processing rate equivalent to a 1.6 Tbit/s
 // link with 4 KiB MTU packets: the horizontal target line of Figure 16.
 const Tbit16Target = 1.6e12 / 8 / 4096 // chunks/second
 
 // Fig16TbitScaling sweeps thread counts with 64-byte chunks, matching the
-// arrival rate of a future 1.6 Tbit/s link (§VII).
+// arrival rate of a future 1.6 Tbit/s link (§VII). LinkShare is relative to
+// the Tbit16Target chunk rate.
 func Fig16TbitScaling(threadCounts []int) []ScalingPoint {
-	type job struct {
-		tr verbs.Transport
-		w  int
+	recs, err := Fig16Records(threadCounts)
+	if err != nil {
+		panic(err)
 	}
-	var jobs []job
-	for _, tr := range []verbs.Transport{verbs.UD, verbs.UC} {
-		for _, w := range threadCounts {
-			jobs = append(jobs, job{tr, w})
-		}
+	pts := make([]ScalingPoint, len(recs))
+	for i, r := range recs {
+		pts[i] = scalingPoint(r)
 	}
-	pts, _ := parallelMap(len(jobs), func(i int) (ScalingPoint, error) {
-		j := jobs[i]
-		// Volume scales with threads to keep per-thread work meaningful
-		// while bounding event counts.
-		total := 256 * 1024 * j.w
-		r := RunRxBench(RxBenchConfig{Transport: j.tr, Workers: j.w, ChunkBytes: 64, TotalBytes: total})
-		return ScalingPoint{
-			Transport: j.tr.String(), Threads: j.w, ChunkBytes: 64,
-			GiBps: r.GiBps, Gbps: r.Gbps, ChunkRate: r.ChunkRate,
-			LinkShare: r.ChunkRate / Tbit16Target,
-		}, nil
-	})
 	return pts
 }
 
@@ -197,44 +177,19 @@ type BreakdownPoint struct {
 // message sizes on the testbed model and reports median phase fractions,
 // read from the unified Result's per-rank extension.
 func Fig10Breakdown(nodeCounts, sizes []int) ([]BreakdownPoint, error) {
-	var out []BreakdownPoint
-	for _, p := range nodeCounts {
-		for _, n := range sizes {
-			eng, f := testbedFabric(uint64(p)<<20|uint64(n), 0)
-			hosts := f.Graph().Hosts()
-			if p > len(hosts) {
-				return nil, fmt.Errorf("harness: %d nodes exceed testbed", p)
-			}
-			alg, err := registry.New(cluster.New(f, cluster.Config{}), "mcast-allgather", registry.Options{
-				Hosts: hosts[:p],
-				Core:  core.Config{Transport: verbs.UD},
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := alg.Run(collective.Op{Kind: collective.Allgather, Bytes: n})
-			if err != nil {
-				return nil, err
-			}
-			var bar, mc, fin, tot []float64
-			for _, s := range res.PerRank {
-				total := float64(s.Total)
-				if total == 0 {
-					continue
-				}
-				bar = append(bar, float64(s.BarrierTime)/total)
-				mc = append(mc, float64(s.McastTime)/total)
-				fin = append(fin, float64(s.FinalTime)/total)
-				tot = append(tot, total)
-			}
-			out = append(out, BreakdownPoint{
-				Nodes: p, MsgBytes: n,
-				BarrierFrac: stats.Summarize(bar).Median,
-				McastFrac:   stats.Summarize(mc).Median,
-				FinalFrac:   stats.Summarize(fin).Median,
-				Total:       sim.Time(stats.Summarize(tot).Median),
-			})
-			_ = eng
+	recs, err := Fig10Records(nodeCounts, sizes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BreakdownPoint, len(recs))
+	for i, r := range recs {
+		out[i] = BreakdownPoint{
+			Nodes:       r.Spec.Nodes,
+			MsgBytes:    r.Spec.MsgBytes,
+			BarrierFrac: r.Metric("barrier_frac"),
+			McastFrac:   r.Metric("mcast_frac"),
+			FinalFrac:   r.Metric("final_frac"),
+			Total:       sim.Time(r.Metric("total_ns")),
 		}
 	}
 	return out, nil
@@ -255,46 +210,20 @@ type Fig11Point struct {
 // dispatching every algorithm through the unified registry. The
 // independent simulations run in parallel across OS threads.
 func Fig11Throughput(nodes int, sizes []int) ([]Fig11Point, error) {
-	type job struct {
-		op   collective.Kind
-		algo string
-		n    int
-		coll coll.Config
-	}
-	// The chain broadcast pipelines best with 16 KiB chunks on the testbed.
-	chainCfg := coll.Config{ChunkBytes: 16 << 10}
-	var jobs []job
-	for _, n := range sizes {
-		jobs = append(jobs,
-			job{collective.Broadcast, "mcast-broadcast", n, coll.Config{}},
-			job{collective.Broadcast, "knomial-broadcast", n, coll.Config{}},
-			job{collective.Broadcast, "binary-broadcast", n, coll.Config{}},
-			job{collective.Broadcast, "chain-broadcast", n, chainCfg},
-			job{collective.Allgather, "mcast-allgather", n, coll.Config{}},
-			job{collective.Allgather, "ring-allgather", n, coll.Config{}},
-		)
-	}
-	pts, err := parallelMap(len(jobs), func(i int) (Fig11Point, error) {
-		j := jobs[i]
-		_, f := testbedFabric(uint64(j.n)+uint64(i), 0)
-		alg, err := registry.New(cluster.New(f, cluster.Config{}), j.algo, registry.Options{
-			Hosts: f.Graph().Hosts()[:nodes],
-			Core:  core.Config{Transport: verbs.UD},
-			Coll:  j.coll,
-		})
-		if err != nil {
-			return Fig11Point{}, err
-		}
-		res, err := alg.Run(collective.Op{Kind: j.op, Bytes: j.n})
-		if err != nil {
-			return Fig11Point{}, err
-		}
-		return Fig11Point{Op: string(j.op), Algo: j.algo, MsgBytes: j.n, GiBps: res.AlgBandwidth() / (1 << 30)}, nil
-	})
+	recs, err := Fig11Records(nodes, sizes)
 	if err != nil {
 		return nil, err
 	}
-	return pts, nil
+	out := make([]Fig11Point, len(recs))
+	for i, r := range recs {
+		out[i] = Fig11Point{
+			Op:       r.Spec.Op,
+			Algo:     r.Spec.Algorithm,
+			MsgBytes: r.Spec.MsgBytes,
+			GiBps:    r.Metric("gibps"),
+		}
+	}
+	return out, nil
 }
 
 // --- Figure 12: switch traffic savings --------------------------------------------
@@ -314,53 +243,21 @@ type Fig12Row struct {
 // its own fresh fabric through the registry; the instance's persistent
 // transport state carries from warmup into the measured iterations.
 func Fig12Traffic(nodes, msgBytes, iters int) ([]Fig12Row, error) {
-	measure := func(algo string, op collective.Op) (uint64, error) {
-		_, f := testbedFabric(77, 0)
-		alg, err := registry.New(cluster.New(f, cluster.Config{}), algo, registry.Options{
-			Hosts: f.Graph().Hosts()[:nodes],
-			Core:  core.Config{Transport: verbs.UD},
-		})
-		if err != nil {
-			return 0, err
+	recs, err := Fig12Records(nodes, msgBytes, iters)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig12Row, len(recs))
+	for i, r := range recs {
+		family, _, _ := strings.Cut(r.Spec.Algorithm, "-")
+		out[i] = Fig12Row{
+			Op:          r.Spec.Op,
+			Algo:        family,
+			SwitchBytes: uint64(r.Metric("switch_bytes")),
+			Savings:     r.Metric("savings_vs_p2p"),
 		}
-		// One warmup, then reset counters and measure iters iterations.
-		if _, err := alg.Run(op); err != nil {
-			return 0, fmt.Errorf("%s warmup: %w", algo, err)
-		}
-		f.ResetCounters()
-		for i := 0; i < iters; i++ {
-			if _, err := alg.Run(op); err != nil {
-				return 0, fmt.Errorf("%s iter %d: %w", algo, i, err)
-			}
-		}
-		return f.SwitchPortBytes(), nil
 	}
-
-	bcast := collective.Op{Kind: collective.Broadcast, Bytes: msgBytes}
-	ag := collective.Op{Kind: collective.Allgather, Bytes: msgBytes}
-	mcB, err := measure("mcast-broadcast", bcast)
-	if err != nil {
-		return nil, err
-	}
-	p2pB, err := measure("knomial-broadcast", bcast)
-	if err != nil {
-		return nil, err
-	}
-	mcA, err := measure("mcast-allgather", ag)
-	if err != nil {
-		return nil, err
-	}
-	p2pA, err := measure("ring-allgather", ag)
-	if err != nil {
-		return nil, err
-	}
-
-	return []Fig12Row{
-		{Op: "broadcast", Algo: "mcast", SwitchBytes: mcB, Savings: float64(p2pB) / float64(mcB)},
-		{Op: "broadcast", Algo: "knomial", SwitchBytes: p2pB, Savings: 1},
-		{Op: "allgather", Algo: "mcast", SwitchBytes: mcA, Savings: float64(p2pA) / float64(mcA)},
-		{Op: "allgather", Algo: "ring", SwitchBytes: p2pA, Savings: 1},
-	}, nil
+	return out, nil
 }
 
 // --- Appendix B: concurrent {AG, RS} ----------------------------------------------
@@ -380,61 +277,21 @@ type AppBPoint struct {
 // concurrently through the registry's non-blocking Starter surface on a
 // shared cluster, contending for the same NICs.
 func AppBConcurrent(ps []int, n int) ([]AppBPoint, error) {
-	// pair starts an Allgather and a Reduce-Scatter together on one fresh
-	// star system and returns the span from first start to last finish.
-	pair := func(p int, seed uint64, agAlgo string, agCore core.Config, rsAlgo string) (sim.Time, error) {
-		eng := sim.NewEngine(seed)
-		g := topology.Star(p)
-		f := fabric.New(eng, g, fabric.Config{})
-		cl := cluster.New(f, cluster.Config{})
-		ag, err := registry.New(cl, agAlgo, registry.Options{Core: agCore})
-		if err != nil {
-			return 0, err
-		}
-		rs, err := registry.New(cl, rsAlgo, registry.Options{})
-		if err != nil {
-			return 0, err
-		}
-		var agR, rsR *collective.Result
-		if err := ag.(collective.Starter).Start(collective.Op{Kind: collective.Allgather, Bytes: n},
-			func(r *collective.Result) { agR = r }); err != nil {
-			return 0, err
-		}
-		if err := rs.(collective.Starter).Start(collective.Op{Kind: collective.ReduceScatter, Bytes: n},
-			func(r *collective.Result) { rsR = r }); err != nil {
-			return 0, err
-		}
-		eng.Run()
-		if agR == nil || rsR == nil {
-			return 0, fmt.Errorf("harness: {%s, %s} pair did not complete at P=%d", agAlgo, rsAlgo, p)
-		}
-		return maxTime(agR.End, rsR.End) - minTime(agR.Start, rsR.Start), nil
+	recs, err := AppBRecords(ps, n)
+	if err != nil {
+		return nil, err
 	}
-
-	var out []AppBPoint
-	for _, p := range ps {
-		// Configuration 1: ring AG + ring RS sharing NICs.
-		ringPair, err := pair(p, uint64(p), "ring-allgather", core.Config{}, "ring-reduce-scatter")
-		if err != nil {
-			return nil, err
-		}
-		// Configuration 2: multicast AG + INC RS. All chains run
-		// concurrently: with the send path otherwise consumed by the
-		// Reduce-Scatter stream, spreading each root's injection over the
-		// whole operation (multicast parallelism, §IV-A) is what lets the
-		// Allgather live on the receive path alone.
-		incPair, err := pair(p, uint64(p)+1, "mcast-allgather",
-			core.Config{Transport: verbs.UD, Chains: p, Subgroups: 4}, "inc-reduce-scatter")
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AppBPoint{
+	out := make([]AppBPoint, len(ps))
+	for i, p := range ps {
+		ring := recs[i].Metric("span_ns")
+		inc := recs[len(ps)+i].Metric("span_ns")
+		out[i] = AppBPoint{
 			P:        p,
-			RingPair: ringPair,
-			IncPair:  incPair,
-			Speedup:  float64(ringPair) / float64(incPair),
+			RingPair: sim.Time(ring),
+			IncPair:  sim.Time(inc),
+			Speedup:  ring / inc,
 			Model:    model.SpeedupINC(p),
-		})
+		}
 	}
 	return out, nil
 }

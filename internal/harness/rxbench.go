@@ -3,8 +3,13 @@
 // receive-datapath microbenchmarks (Figures 5, 13, 14, 15, 16 and Table I),
 // the at-scale collective runs on the 188-node testbed model (Figures 10,
 // 11, 12), the analytic models (Figures 2, 7), and the Appendix B
-// concurrent {Allgather, Reduce-Scatter} study. The cmd/ binaries and the
-// top-level benchmarks are thin wrappers over this package.
+// concurrent {Allgather, Reduce-Scatter} study.
+//
+// Every experiment is declared as a sweep (sweeps.go): a parameter grid
+// plus a kernel executed by internal/sweep's worker pool, producing
+// structured Records with deterministic per-point seeds. The typed
+// per-figure views (experiments.go) and the cmd/ binaries are thin
+// projections of those Records.
 package harness
 
 import (

@@ -1,0 +1,473 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/coll"
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/topology"
+	"repro/internal/verbs"
+)
+
+// This file declares every experiment as a sweep: a Grid (or composed spec
+// list) naming the axes the paper varies, plus the kernel that executes one
+// grid point. The typed per-figure views in experiments.go are thin
+// projections of the Records these sweeps produce; the cmd binaries consume
+// the Records directly (tables, -json).
+
+// --- receive-datapath kernel -----------------------------------------------------
+
+// rxConfig maps a sweep point onto the microbenchmark configuration. The
+// Transport axis selects both the verbs transport and the processor:
+// "ud"/"uc" run on the DPA, "cpu-ud"/"cpu-rc" on the host-CPU model.
+func rxConfig(s sweep.Spec) (RxBenchConfig, error) {
+	cfg := RxBenchConfig{
+		Workers: s.Threads, ChunkBytes: s.ChunkSize, TotalBytes: s.MsgBytes, Seed: s.Seed,
+	}
+	switch s.Transport {
+	case "ud":
+		cfg.Transport = verbs.UD
+	case "uc":
+		cfg.Transport = verbs.UC
+	case "cpu-ud":
+		cfg.Transport, cfg.OnCPU = verbs.UD, true
+	case "cpu-rc":
+		cfg.Transport, cfg.OnCPU = verbs.UC, true
+	default:
+		return cfg, fmt.Errorf("harness: unknown transport %q", s.Transport)
+	}
+	if cfg.Workers <= 0 || cfg.ChunkBytes <= 0 || cfg.TotalBytes <= 0 {
+		return cfg, fmt.Errorf("harness: non-positive threads/chunk/bytes in %s", s)
+	}
+	return cfg, nil
+}
+
+// RxKernel is the sweep kernel for the receive-datapath microbenchmark
+// (Figures 5, 13–16 and Table I).
+func RxKernel(s sweep.Spec) (sweep.Record, error) {
+	cfg, err := rxConfig(s)
+	if err != nil {
+		return sweep.Record{}, err
+	}
+	r := RunRxBench(cfg)
+	return sweep.Record{Spec: s, Metrics: map[string]float64{
+		"gibps":      r.GiBps,
+		"gbps":       r.Gbps,
+		"chunk_rate": r.ChunkRate,
+		"link_share": r.LinkShare,
+		"link_gbps":  r.LinkGbps,
+		"ipc":        r.IPC,
+		"instr_cqe":  float64(r.Profile.IssueCycles),
+		"cycles_cqe": float64(r.Profile.LatencyCycles),
+	}}, nil
+}
+
+// --- collective kernel -----------------------------------------------------------
+
+// opForAlgo derives the operation kind from a registry algorithm name.
+func opForAlgo(algo string) (collective.Kind, error) {
+	for _, k := range []collective.Kind{
+		collective.Allgather, collective.Broadcast,
+		collective.ReduceScatter, collective.Allreduce,
+	} {
+		if strings.HasSuffix(algo, "-"+string(k)) {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("harness: cannot derive operation from algorithm %q", algo)
+}
+
+// CollKernel is the sweep kernel for at-scale collectives on the 188-node
+// testbed model (Figures 10 and 11): it instantiates the point's algorithm
+// through the registry, runs one operation, and reports the unified Result
+// (with the per-rank critical-path extension where the protocol provides
+// it). The optional ChunkSize axis tunes the P2P baselines.
+func CollKernel(s sweep.Spec) (sweep.Record, error) {
+	if s.Op == "" {
+		kind, err := opForAlgo(s.Algorithm)
+		if err != nil {
+			return sweep.Record{}, err
+		}
+		s.Op = string(kind)
+	}
+	_, f := testbedFabric(s.Seed, 0)
+	hosts := f.Graph().Hosts()
+	if s.Nodes < 1 || s.Nodes > len(hosts) {
+		return sweep.Record{}, fmt.Errorf("harness: %d nodes exceed testbed (%d)", s.Nodes, len(hosts))
+	}
+	alg, err := registry.New(cluster.New(f, cluster.Config{}), s.Algorithm, registry.Options{
+		Hosts: hosts[:s.Nodes],
+		Core:  core.Config{Transport: verbs.UD},
+		Coll:  coll.Config{ChunkBytes: s.ChunkSize},
+	})
+	if err != nil {
+		return sweep.Record{}, err
+	}
+	res, err := alg.Run(collective.Op{Kind: collective.Kind(s.Op), Bytes: s.MsgBytes})
+	if err != nil {
+		return sweep.Record{}, err
+	}
+	rec := sweep.Record{Spec: s, Result: res, Metrics: map[string]float64{
+		"gibps":       res.AlgBandwidth() / (1 << 30),
+		"duration_us": res.Duration().Micros(),
+	}}
+	if len(res.PerRank) > 0 {
+		var bar, mc, fin, tot []float64
+		for _, rs := range res.PerRank {
+			total := float64(rs.Total)
+			if total == 0 {
+				continue
+			}
+			bar = append(bar, float64(rs.BarrierTime)/total)
+			mc = append(mc, float64(rs.McastTime)/total)
+			fin = append(fin, float64(rs.FinalTime)/total)
+			tot = append(tot, total)
+		}
+		rec.Metrics["barrier_frac"] = stats.Summarize(bar).Median
+		rec.Metrics["mcast_frac"] = stats.Summarize(mc).Median
+		rec.Metrics["final_frac"] = stats.Summarize(fin).Median
+		rec.Metrics["total_ns"] = stats.Summarize(tot).Median
+	}
+	return rec, nil
+}
+
+// --- per-figure grids ------------------------------------------------------------
+
+// Fig5Specs pairs one host-CPU thread against one DPA core (16 threads) on
+// the UD datapath over a message-size sweep (200 Gbit/s link).
+func Fig5Specs(sizes []int) []sweep.Spec {
+	cpu := sweep.Grid{Transports: []string{"cpu-ud"}, Threads: []int{1},
+		ChunkSizes: []int{4096}, MsgBytes: sizes, Seed: 5}
+	dpa := sweep.Grid{Transports: []string{"ud"}, Threads: []int{16},
+		ChunkSizes: []int{4096}, MsgBytes: sizes, Seed: 55}
+	return sweep.Concat(cpu.Expand(), dpa.Expand())
+}
+
+// Fig5Records runs the Figure 5 sweep.
+func Fig5Records(sizes []int) ([]sweep.Record, error) {
+	return sweep.Run(Fig5Specs(sizes), 0, RxKernel)
+}
+
+// Table1Grid measures both single-thread DPA datapaths (8 MiB buffer,
+// 4 KiB chunks).
+func Table1Grid() sweep.Grid {
+	return sweep.Grid{Transports: []string{"uc", "ud"}, Threads: []int{1},
+		ChunkSizes: []int{4096}, MsgBytes: []int{8 << 20}, Seed: 1}
+}
+
+// Table1Records runs the Table I sweep.
+func Table1Records() ([]sweep.Record, error) {
+	return sweep.RunGrid(Table1Grid(), 0, RxKernel)
+}
+
+// Fig13Specs sweeps DPA worker threads for the UD and UC datapaths (8 MiB
+// buffer, 4 KiB chunks) plus the single-thread CPU baseline as the final
+// point, as in Figures 13/14.
+func Fig13Specs(threadCounts []int) []sweep.Spec {
+	dpa := sweep.Grid{Transports: []string{"ud", "uc"}, Threads: threadCounts,
+		ChunkSizes: []int{4096}, MsgBytes: []int{8 << 20}, Seed: 13}
+	cpu := sweep.Grid{Transports: []string{"cpu-ud"}, Threads: []int{1},
+		ChunkSizes: []int{4096}, MsgBytes: []int{8 << 20}, Seed: 14}
+	return sweep.Concat(dpa.Expand(), cpu.Expand())
+}
+
+// Fig13Records runs the thread-scaling sweep; the last record is the CPU
+// baseline.
+func Fig13Records(threadCounts []int) ([]sweep.Record, error) {
+	return sweep.Run(Fig13Specs(threadCounts), 0, RxKernel)
+}
+
+// Fig15Grid sweeps the UC chunk size across thread counts (8 MiB buffer):
+// larger multi-packet chunks mean fewer CQEs, so fewer threads reach line
+// rate.
+func Fig15Grid(chunkSizes, threadCounts []int) sweep.Grid {
+	return sweep.Grid{Transports: []string{"uc"}, Threads: threadCounts,
+		ChunkSizes: chunkSizes, MsgBytes: []int{8 << 20}, Seed: 15}
+}
+
+// Fig15Records runs the chunk-size sweep.
+func Fig15Records(chunkSizes, threadCounts []int) ([]sweep.Record, error) {
+	return sweep.RunGrid(Fig15Grid(chunkSizes, threadCounts), 0, RxKernel)
+}
+
+// Fig16Grid sweeps thread counts with 64-byte chunks, matching the arrival
+// rate of a future 1.6 Tbit/s link (§VII). MsgBytes is derived per point
+// (256 KiB per thread) by the kernel.
+func Fig16Grid(threadCounts []int) sweep.Grid {
+	return sweep.Grid{Transports: []string{"ud", "uc"}, Threads: threadCounts,
+		ChunkSizes: []int{64}, Seed: 16}
+}
+
+// Fig16Kernel scales the receive volume with the thread count (keeping
+// per-thread work meaningful while bounding event counts) and rebases
+// link_share on the 1.6 Tbit/s chunk-rate target.
+func Fig16Kernel(s sweep.Spec) (sweep.Record, error) {
+	s.MsgBytes = 256 * 1024 * s.Threads
+	rec, err := RxKernel(s)
+	if err != nil {
+		return rec, err
+	}
+	rec.Metrics["link_share"] = rec.Metrics["chunk_rate"] / Tbit16Target
+	return rec, nil
+}
+
+// Fig16Records runs the Tbit-scaling sweep.
+func Fig16Records(threadCounts []int) ([]sweep.Record, error) {
+	return sweep.RunGrid(Fig16Grid(threadCounts), 0, Fig16Kernel)
+}
+
+// Fig10Grid runs the multicast Allgather at several scales and message
+// sizes; the kernel reports the median per-rank phase fractions.
+func Fig10Grid(nodeCounts, sizes []int) sweep.Grid {
+	return sweep.Grid{Algorithms: []string{"mcast-allgather"},
+		Nodes: nodeCounts, MsgBytes: sizes, Seed: 10}
+}
+
+// Fig10Records runs the critical-path-breakdown sweep.
+func Fig10Records(nodeCounts, sizes []int) ([]sweep.Record, error) {
+	return sweep.RunGrid(Fig10Grid(nodeCounts, sizes), 0, CollKernel)
+}
+
+// Fig11Specs measures the multicast collectives against their P2P
+// baselines over a size sweep. The chain broadcast gets its own grid
+// because it pipelines best with 16 KiB chunks on the testbed — a linked
+// axis, not a product.
+func Fig11Specs(nodes int, sizes []int) []sweep.Spec {
+	plain := sweep.Grid{
+		Algorithms: []string{"mcast-broadcast", "knomial-broadcast", "binary-broadcast",
+			"mcast-allgather", "ring-allgather"},
+		Nodes: []int{nodes}, MsgBytes: sizes, Seed: 11,
+	}
+	chain := sweep.Grid{Algorithms: []string{"chain-broadcast"},
+		Nodes: []int{nodes}, MsgBytes: sizes, ChunkSizes: []int{16 << 10}, Seed: 112}
+	return sweep.Concat(plain.Expand(), chain.Expand())
+}
+
+// Fig11Records runs the at-scale throughput sweep.
+func Fig11Records(nodes int, sizes []int) ([]sweep.Record, error) {
+	return sweep.Run(Fig11Specs(nodes, sizes), 0, CollKernel)
+}
+
+// Fig12Specs names the four algorithm cells of the switch-traffic study.
+func Fig12Specs(nodes, msgBytes int) []sweep.Spec {
+	return sweep.Grid{
+		Algorithms: []string{"mcast-broadcast", "knomial-broadcast",
+			"mcast-allgather", "ring-allgather"},
+		Nodes: []int{nodes}, MsgBytes: []int{msgBytes}, Seed: 12,
+	}.Expand()
+}
+
+// fig12Kernel measures switch-port counter totals for one algorithm: one
+// warmup operation, counter reset, then iters measured iterations on the
+// same warm instance (the paper's counter methodology).
+func fig12Kernel(iters int) sweep.Func {
+	return func(s sweep.Spec) (sweep.Record, error) {
+		kind, err := opForAlgo(s.Algorithm)
+		if err != nil {
+			return sweep.Record{}, err
+		}
+		s.Op = string(kind)
+		_, f := testbedFabric(s.Seed, 0)
+		alg, err := registry.New(cluster.New(f, cluster.Config{}), s.Algorithm, registry.Options{
+			Hosts: f.Graph().Hosts()[:s.Nodes],
+			Core:  core.Config{Transport: verbs.UD},
+		})
+		if err != nil {
+			return sweep.Record{}, err
+		}
+		op := collective.Op{Kind: kind, Bytes: s.MsgBytes}
+		if _, err := alg.Run(op); err != nil {
+			return sweep.Record{}, fmt.Errorf("warmup: %w", err)
+		}
+		f.ResetCounters()
+		for i := 0; i < iters; i++ {
+			if _, err := alg.Run(op); err != nil {
+				return sweep.Record{}, fmt.Errorf("iter %d: %w", i, err)
+			}
+		}
+		return sweep.Record{Spec: s, Metrics: map[string]float64{
+			"switch_bytes": float64(f.SwitchPortBytes()),
+		}}, nil
+	}
+}
+
+// Fig12Records runs the four cells and adds the cross-cell
+// "savings_vs_p2p" metric (P2P switch bytes / multicast switch bytes for
+// the same operation) onto every record.
+func Fig12Records(nodes, msgBytes, iters int) ([]sweep.Record, error) {
+	recs, err := sweep.Run(Fig12Specs(nodes, msgBytes), 0, fig12Kernel(iters))
+	if err != nil {
+		return nil, err
+	}
+	byAlgo := map[string]float64{}
+	for _, r := range recs {
+		byAlgo[r.Spec.Algorithm] = r.Metric("switch_bytes")
+	}
+	p2pFor := map[string]string{
+		"mcast-broadcast": "knomial-broadcast",
+		"mcast-allgather": "ring-allgather",
+	}
+	for i := range recs {
+		if p2p, ok := p2pFor[recs[i].Spec.Algorithm]; ok {
+			recs[i].Metrics["savings_vs_p2p"] = byAlgo[p2p] / recs[i].Metric("switch_bytes")
+		} else {
+			recs[i].Metrics["savings_vs_p2p"] = 1
+		}
+	}
+	return recs, nil
+}
+
+// AppBSpecs names the two concurrent-{Allgather, Reduce-Scatter}
+// configurations at each scale: "ring-pair" (ring AG + ring RS sharing
+// NICs) and "inc-pair" (multicast AG + in-network RS).
+func AppBSpecs(ps []int, n int) []sweep.Spec {
+	return sweep.Grid{Algorithms: []string{"ring-pair", "inc-pair"},
+		Nodes: ps, MsgBytes: []int{n}, Seed: 21}.Expand()
+}
+
+// appBKernel starts an Allgather and a Reduce-Scatter together on one
+// fresh star system (full-bandwidth, as Appendix B assumes) through the
+// registry's non-blocking Starter surface and reports the span from first
+// start to last finish.
+func appBKernel(s sweep.Spec) (sweep.Record, error) {
+	var agAlgo, rsAlgo string
+	var agCore core.Config
+	switch s.Algorithm {
+	case "ring-pair":
+		agAlgo, rsAlgo = "ring-allgather", "ring-reduce-scatter"
+	case "inc-pair":
+		// All multicast chains run concurrently: with the send path
+		// otherwise consumed by the Reduce-Scatter stream, spreading each
+		// root's injection over the whole operation (multicast parallelism,
+		// §IV-A) is what lets the Allgather live on the receive path alone.
+		agAlgo, rsAlgo = "mcast-allgather", "inc-reduce-scatter"
+		agCore = core.Config{Transport: verbs.UD, Chains: s.Nodes, Subgroups: 4}
+	default:
+		return sweep.Record{}, fmt.Errorf("harness: unknown pair %q", s.Algorithm)
+	}
+	eng := sim.NewEngine(s.Seed)
+	g := topology.Star(s.Nodes)
+	f := fabric.New(eng, g, fabric.Config{})
+	cl := cluster.New(f, cluster.Config{})
+	ag, err := registry.New(cl, agAlgo, registry.Options{Core: agCore})
+	if err != nil {
+		return sweep.Record{}, err
+	}
+	rs, err := registry.New(cl, rsAlgo, registry.Options{})
+	if err != nil {
+		return sweep.Record{}, err
+	}
+	var agR, rsR *collective.Result
+	if err := ag.(collective.Starter).Start(collective.Op{Kind: collective.Allgather, Bytes: s.MsgBytes},
+		func(r *collective.Result) { agR = r }); err != nil {
+		return sweep.Record{}, err
+	}
+	if err := rs.(collective.Starter).Start(collective.Op{Kind: collective.ReduceScatter, Bytes: s.MsgBytes},
+		func(r *collective.Result) { rsR = r }); err != nil {
+		return sweep.Record{}, err
+	}
+	eng.Run()
+	if agR == nil || rsR == nil {
+		return sweep.Record{}, fmt.Errorf("harness: {%s, %s} pair did not complete at P=%d", agAlgo, rsAlgo, s.Nodes)
+	}
+	span := maxTime(agR.End, rsR.End) - minTime(agR.Start, rsR.Start)
+	return sweep.Record{Spec: s, Metrics: map[string]float64{
+		"span_ns":       float64(span),
+		"model_speedup": model.SpeedupINC(s.Nodes),
+	}}, nil
+}
+
+// AppBRecords runs both configurations at every scale; ring-pair records
+// come first, then inc-pair, each in ps order.
+func AppBRecords(ps []int, n int) ([]sweep.Record, error) {
+	return sweep.Run(AppBSpecs(ps, n), 0, appBKernel)
+}
+
+// --- OSU-style kernel ------------------------------------------------------------
+
+// OSUConfig parameterizes the OSU-style measurement loop shared by cmd/osu:
+// warm-up iterations excluded, per-size medians with nonparametric
+// confidence intervals (Hoefler–Belli guidelines).
+type OSUConfig struct {
+	Iters    int
+	Warmup   int
+	LinkGbps float64
+	// JitterUS adds seeded per-delivery network noise in microseconds,
+	// enabling run-to-run variability within a point.
+	JitterUS int
+}
+
+// OSUKernel returns a sweep kernel that measures one (algorithm, nodes,
+// size) point on the testbed model: the communicator persists across the
+// point's iterations (warm queue pairs and buffers), and the Record carries
+// the last iteration's unified Result plus the latency distribution.
+func OSUKernel(cfg OSUConfig) sweep.Func {
+	return func(s sweep.Spec) (sweep.Record, error) {
+		if cfg.Iters <= 0 {
+			return sweep.Record{}, fmt.Errorf("harness: iters must be positive")
+		}
+		if s.Op == "" {
+			kind, err := opForAlgo(s.Algorithm)
+			if err != nil {
+				return sweep.Record{}, err
+			}
+			s.Op = string(kind)
+		}
+		eng := sim.NewEngine(s.Seed)
+		g := topology.Testbed188()
+		if s.Nodes < 1 || s.Nodes > len(g.Hosts()) {
+			return sweep.Record{}, fmt.Errorf("harness: nodes must be in [1,%d]", len(g.Hosts()))
+		}
+		linkBw := cfg.LinkGbps * 1e9 / 8
+		if linkBw == 0 {
+			linkBw = 7e9
+		}
+		f := fabric.New(eng, g, fabric.Config{
+			LinkBandwidth: linkBw,
+			ReorderJitter: sim.Time(cfg.JitterUS) * sim.Microsecond,
+		})
+		alg, err := registry.New(cluster.New(f, cluster.Config{}), s.Algorithm, registry.Options{
+			Hosts: g.Hosts()[:s.Nodes],
+		})
+		if err != nil {
+			return sweep.Record{}, err
+		}
+		op := collective.Op{Kind: collective.Kind(s.Op), Bytes: s.MsgBytes}
+		if !alg.Supports(op) {
+			return sweep.Record{}, fmt.Errorf("harness: %s does not support %s of %d bytes on %d nodes",
+				s.Algorithm, op.Kind, op.Bytes, s.Nodes)
+		}
+		var lat []float64
+		var last *collective.Result
+		for i := 0; i < cfg.Warmup+cfg.Iters; i++ {
+			res, err := alg.Run(op)
+			if err != nil {
+				return sweep.Record{}, fmt.Errorf("iter %d: %w", i, err)
+			}
+			if i >= cfg.Warmup {
+				lat = append(lat, res.Duration().Micros())
+				last = res
+			}
+		}
+		sum := stats.Summarize(lat)
+		// Bandwidth numerator is the per-rank network receive payload, the
+		// same semantic AlgBandwidth and Figure 11 use.
+		return sweep.Record{Spec: s, Result: last, Metrics: map[string]float64{
+			"median_us":    sum.Median,
+			"ci95_low_us":  sum.CILow,
+			"ci95_high_us": sum.CIHigh,
+			"min_us":       sum.Min,
+			"max_us":       sum.Max,
+			"gibps":        last.RecvPerRank() / (sum.Median / 1e6) / (1 << 30),
+		}}, nil
+	}
+}

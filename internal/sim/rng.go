@@ -72,3 +72,14 @@ func (r *RNG) Perm(n int) []int {
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64()*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB)
 }
+
+// Splitmix64 is the splitmix64 finalizer: a bijective avalanche mix used to
+// derive decorrelated seeds from structured inputs (e.g. a base seed plus a
+// sweep-grid index). Like the RNG itself it is pinned here so derived seeds
+// cannot drift across Go releases.
+func Splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

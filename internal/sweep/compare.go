@@ -1,0 +1,90 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Delta is one metric's change between a baseline and a current report for
+// the same grid point.
+type Delta struct {
+	Spec   Spec    `json:"spec"`
+	Metric string  `json:"metric"`
+	Base   float64 `json:"base"`
+	Cur    float64 `json:"cur"`
+	// Rel is (cur-base)/|base|; +Inf when the baseline is zero and the
+	// current value is not.
+	Rel float64 `json:"rel"`
+}
+
+func (d Delta) String() string {
+	return fmt.Sprintf("%s %s: %.6g -> %.6g (%+.1f%%)", d.Spec, d.Metric, d.Base, d.Cur, d.Rel*100)
+}
+
+// Compare diffs two reports point by point (matched on Spec.Key, so
+// baselines survive base-seed changes as long as the grid shape is the
+// same; records sharing a key — e.g. an axis carried as a metric — pair up
+// positionally) and returns every metric whose relative change exceeds
+// tol, sorted by point index then metric name. Points or metrics present
+// in only one report are skipped — Compare answers "what moved", not
+// "what changed shape".
+func Compare(base, cur Report, tol float64) []Delta {
+	baseByKey := make(map[string][]Record, len(base.Records))
+	for _, r := range base.Records {
+		k := r.Spec.Key()
+		baseByKey[k] = append(baseByKey[k], r)
+	}
+	seen := map[string]int{}
+	var out []Delta
+	for _, r := range cur.Records {
+		k := r.Spec.Key()
+		dups := baseByKey[k]
+		nth := seen[k]
+		seen[k]++
+		if nth >= len(dups) {
+			continue
+		}
+		b := dups[nth]
+		for name, curV := range r.Metrics {
+			baseV, ok := b.Metrics[name]
+			if !ok {
+				continue
+			}
+			var rel float64
+			switch {
+			case baseV == curV:
+				rel = 0
+			case baseV == 0:
+				rel = math.Inf(1)
+			default:
+				rel = (curV - baseV) / math.Abs(baseV)
+			}
+			if math.Abs(rel) > tol {
+				out = append(out, Delta{Spec: r.Spec, Metric: name, Base: baseV, Cur: curV, Rel: rel})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Spec.Index != out[j].Spec.Index {
+			return out[i].Spec.Index < out[j].Spec.Index
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}
+
+// WriteDeltas prints one line per delta, for CI logs.
+func WriteDeltas(w io.Writer, deltas []Delta) error {
+	if len(deltas) == 0 {
+		_, err := fmt.Fprintln(w, "no metric moved beyond tolerance")
+		return err
+	}
+	for _, d := range deltas {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

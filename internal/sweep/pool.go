@@ -1,0 +1,81 @@
+package sweep
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Func is a sweep kernel: it executes one grid point and returns its
+// Record. Kernels run concurrently across the worker pool, so they must
+// not share mutable state (each builds its own simulation engine).
+type Func func(Spec) (Record, error)
+
+// Map runs fn over every index in [0, n) across a pool of worker
+// goroutines and collects the results in index order. workers <= 0 selects
+// GOMAXPROCS. Results are written into a slice by index, so the output —
+// including which error is reported — is independent of worker count and
+// scheduling; errors from distinct points are joined in index order.
+// Remaining work still completes after an error (simulations are cheap to
+// finish and aborting mid-engine has no benefit).
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Run executes the kernel over every spec on the worker pool and returns
+// the records in spec order. It is the execution half of the engine: expand
+// a Grid, then Run the points.
+func Run(specs []Spec, workers int, fn Func) ([]Record, error) {
+	return Map(len(specs), workers, func(i int) (Record, error) {
+		rec, err := fn(specs[i])
+		if err != nil {
+			return Record{}, &PointError{Spec: specs[i], Err: err}
+		}
+		return rec, nil
+	})
+}
+
+// RunGrid expands the grid and runs it: the one-call form drivers use.
+func RunGrid(g Grid, workers int, fn Func) ([]Record, error) {
+	return Run(g.Expand(), workers, fn)
+}
+
+// PointError attributes a kernel failure to its grid point.
+type PointError struct {
+	Spec Spec
+	Err  error
+}
+
+func (e *PointError) Error() string { return "sweep: point " + e.Spec.String() + ": " + e.Err.Error() }
+
+func (e *PointError) Unwrap() error { return e.Err }
