@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	trafficbench [-nodes 188] [-msg 65536] [-iters 10] [-json fig12.json]
+//	trafficbench [-nodes 188] [-msg 65536] [-iters 10] [-workers 0] [-json fig12.json]
 //
 // Invalid parameters exit with status 2; simulation failures with 1.
 package main
@@ -29,6 +29,7 @@ func main() {
 	iters := flag.Int("iters", 10, "measured iterations (> 0)")
 	jsonPath := flag.String("json", "", "write sweep records as JSON to this path")
 	csvPath := flag.String("csv", "", "write sweep records as CSV to this path")
+	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *nodes < 2 || *nodes > 188 {
@@ -43,7 +44,7 @@ func main() {
 
 	fmt.Printf("== Figure 12: switch-port traffic, %d nodes, %d B messages, %d iterations ==\n",
 		*nodes, *msg, *iters)
-	recs, err := harness.Fig12Records(*nodes, *msg, *iters)
+	recs, err := harness.Fig12Records(*nodes, *msg, *iters, *workers)
 	if err != nil {
 		cli.Fatalf(1, "trafficbench: %v", err)
 	}

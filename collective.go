@@ -29,7 +29,9 @@
 // (baselines), collective (shared Op/Result types), registry (the
 // algorithm table), model (analytic cost models), sweep (the declarative
 // parameter-grid engine behind every benchmark surface, re-exported here as
-// SweepGrid/RunSweep) and harness (per-figure experiment drivers).
+// SweepGrid/RunSweep), scenario (deterministic fault/straggler/multi-tenant
+// perturbations, re-exported as Scenarios/NewScenario) and harness
+// (per-figure experiment drivers).
 package repro
 
 import (
@@ -42,10 +44,41 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/registry"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/topology"
 )
+
+// Scenario is a named, deterministic perturbation/workload schedule: link
+// degradations and flaps, drop hotspots, straggler hosts, incast bursts
+// and multi-tenant background flows, armed on a System's fabric. The
+// "quiet" scenario is the identity.
+type Scenario = scenario.Scenario
+
+// ActiveScenario is the handle to an installed scenario: Stop it when the
+// measured workload completes so the engine drains; Stats reports the
+// perturbation and background-traffic counters.
+type ActiveScenario = scenario.Active
+
+// ScenarioStats summarizes what an installed scenario did to the fabric.
+type ScenarioStats = scenario.Stats
+
+// Scenarios returns the names of every registered scenario preset, sorted
+// ("quiet", "flap-spine", "straggler-1pct", "tenant-50load", ...).
+func Scenarios() []string { return scenario.Names() }
+
+// NewScenario instantiates a registered scenario preset by name. The empty
+// name is an alias for "quiet".
+func NewScenario(name string) (Scenario, error) { return scenario.New(name) }
+
+// ApplyScenario arms the scenario on the system's fabric at the current
+// virtual time. Injector randomness derives from seed alone (splitmix64
+// streams), never from the system's RNG, so applying "quiet" is
+// observationally identical to not applying anything.
+func (s *System) ApplyScenario(sc Scenario, seed uint64) *ActiveScenario {
+	return sc.Install(s.Fabric, seed)
+}
 
 // SweepGrid declares a parameter sweep: the cartesian product of every
 // non-empty axis (algorithms × nodes × message sizes × transports ×

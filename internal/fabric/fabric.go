@@ -39,6 +39,10 @@ type Packet struct {
 	Group   GroupID         // multicast group, or NoGroup
 	Flow    uint64          // flow label for deterministic ECMP hashing
 	Payload any
+	// Background marks non-collective tenant traffic injected through
+	// InjectBackground: it occupies channels and counters like any other
+	// packet but is never handed to a NIC's Deliver callback.
+	Background bool
 	// Reduce routes the packet up an in-network reduction tree instead of
 	// toward Dst; the root forwards one result per ReduceChunk to Dst.
 	Reduce      ReduceGroupID
@@ -101,19 +105,26 @@ type PortStats struct {
 	Packets uint64
 	Bytes   uint64 // wire bytes, including headers
 	Drops   uint64 // packets corrupted while crossing this channel
-}
-
-// channel is one direction of a link: a serializing resource.
-type channel struct {
-	from, to topology.NodeID
-	bw       float64 // bytes/sec
-	nextFree sim.Time
-	stats    PortStats
-	// maxBacklog is the worst queueing delay observed at this egress port:
+	// MaxBacklog is the worst queueing delay observed at this egress port:
 	// how far nextFree ran ahead of the clock when a packet was enqueued.
 	// Incast congestion (the §IV-A motivation for the broadcast sequencer)
-	// shows up here.
-	maxBacklog sim.Time
+	// and scenario-injected hotspots show up here.
+	MaxBacklog sim.Time
+}
+
+// channel is one direction of a link: a serializing resource. baseBw is the
+// configured capacity; bw is the effective capacity after any scenario
+// override (bw == baseBw when no override is active, so the quiet path
+// computes bit-identical serialization times).
+type channel struct {
+	from, to topology.NodeID
+	bw       float64 // effective bytes/sec
+	baseBw   float64 // configured bytes/sec
+	extraLat sim.Time
+	// dropOverride replaces Config.DropRate on this channel when >= 0.
+	dropOverride float64
+	nextFree     sim.Time
+	stats        PortStats
 }
 
 // NIC is the fabric attachment point of one host. The verbs layer sets
@@ -146,6 +157,10 @@ type Fabric struct {
 	nextPktID uint64
 	// TotalDropped counts fabric drops across all channels.
 	TotalDropped uint64
+	// Background-traffic counters (packets injected via InjectBackground).
+	BackgroundInjected  uint64
+	BackgroundDelivered uint64
+	BackgroundBytes     uint64 // payload bytes injected
 }
 
 // New builds a fabric over graph g. Routing tables are computed eagerly.
@@ -165,8 +180,8 @@ func New(eng *sim.Engine, g *topology.Graph, cfg Config) *Fabric {
 		if g.Nodes[l.A].Kind == topology.Host || g.Nodes[l.B].Kind == topology.Host {
 			bwAB, bwBA = cfg.HostLinkBandwidth, cfg.HostLinkBandwidth
 		}
-		f.chans[2*l.ID] = channel{from: l.A, to: l.B, bw: bwAB}
-		f.chans[2*l.ID+1] = channel{from: l.B, to: l.A, bw: bwBA}
+		f.chans[2*l.ID] = channel{from: l.A, to: l.B, bw: bwAB, baseBw: bwAB, dropOverride: -1}
+		f.chans[2*l.ID+1] = channel{from: l.B, to: l.A, bw: bwBA, baseBw: bwBA, dropOverride: -1}
 	}
 	return f
 }
@@ -263,21 +278,26 @@ func (f *Fabric) transmit(pkt *Packet, node topology.NodeID, port int) sim.Time 
 	start := ch.nextFree
 	if now := f.eng.Now(); start < now {
 		start = now
-	} else if backlog := start - f.eng.Now(); backlog > ch.maxBacklog {
-		ch.maxBacklog = backlog
+	} else if backlog := start - f.eng.Now(); backlog > ch.stats.MaxBacklog {
+		ch.stats.MaxBacklog = backlog
 	}
 	ch.nextFree = start + serialize
 	ch.stats.Packets++
 	ch.stats.Bytes += uint64(size)
 
-	// Fabric drop: the packet occupies the channel but never arrives.
-	if f.cfg.DropRate > 0 && f.rng.Bernoulli(f.cfg.DropRate) {
+	// Fabric drop: the packet occupies the channel but never arrives. A
+	// scenario override replaces the global rate on this channel.
+	rate := f.cfg.DropRate
+	if ch.dropOverride >= 0 {
+		rate = ch.dropOverride
+	}
+	if rate > 0 && f.rng.Bernoulli(rate) {
 		ch.stats.Drops++
 		f.TotalDropped++
 		return ch.nextFree
 	}
 
-	arrival := ch.nextFree + f.cfg.LinkLatency
+	arrival := ch.nextFree + f.cfg.LinkLatency + ch.extraLat
 	peer := nb.Peer
 	link := nb.Link
 	f.eng.At(arrival, func() { f.arrive(pkt, peer, link) })
@@ -310,6 +330,12 @@ func (f *Fabric) arrive(pkt *Packet, node topology.NodeID, link int) {
 	f.forwardUnicast(pkt, node, link)
 }
 
+// ecmpHash is the deterministic multipath hash over (flow, src, dst).
+func ecmpHash(flow uint64, src, dst topology.NodeID) uint64 {
+	h := flow*0x9E3779B97F4A7C15 + uint64(src)*0x517CC1B727220A95 + uint64(dst)
+	return h ^ (h >> 29)
+}
+
 func (f *Fabric) forwardUnicast(pkt *Packet, sw topology.NodeID, ingress int) {
 	cands := f.rt.Candidates(sw, pkt.Dst)
 	if len(cands) == 0 {
@@ -322,10 +348,7 @@ func (f *Fabric) forwardUnicast(pkt *Packet, sw topology.NodeID, ingress int) {
 	case f.cfg.AdaptiveRouting:
 		port = cands[f.rng.Intn(len(cands))]
 	default:
-		// Deterministic ECMP: hash (flow, src, dst).
-		h := pkt.Flow*0x9E3779B97F4A7C15 + uint64(pkt.Src)*0x517CC1B727220A95 + uint64(pkt.Dst)
-		h ^= h >> 29
-		port = cands[h%uint64(len(cands))]
+		port = cands[ecmpHash(pkt.Flow, pkt.Src, pkt.Dst)%uint64(len(cands))]
 	}
 	f.transmit(pkt, sw, port)
 }
@@ -347,6 +370,10 @@ func (f *Fabric) forwardMulticast(pkt *Packet, sw topology.NodeID, ingress int) 
 }
 
 func (f *Fabric) deliverToHost(pkt *Packet, host topology.NodeID) {
+	if pkt.Background {
+		f.BackgroundDelivered++
+		return
+	}
 	nic, ok := f.nics[host]
 	if !ok {
 		return // host without a NIC silently drops (e.g. non-participants)
@@ -365,6 +392,155 @@ func (f *Fabric) deliverToHost(pkt *Packet, host topology.NodeID) {
 	} else {
 		deliver()
 	}
+}
+
+// --- dynamic channel overrides (scenario extension layer) ------------------
+//
+// The scenario subsystem perturbs a live fabric through these handles: each
+// directed channel can have its bandwidth scaled, extra latency added, or
+// its drop rate replaced, and every override is restorable mid-simulation.
+// With no override active the transmit path computes bit-identical results
+// to the static configuration, so a "quiet" scenario does not move a single
+// event.
+
+// ChannelID identifies one directed channel: 2*linkID for the A->B
+// direction of topology link linkID, 2*linkID+1 for B->A.
+type ChannelID int
+
+// NumChannels returns the number of directed channels (2 per link).
+func (f *Fabric) NumChannels() int { return len(f.chans) }
+
+// ChannelEnds returns the endpoints of a directed channel, transmit side
+// first.
+func (f *Fabric) ChannelEnds(id ChannelID) (from, to topology.NodeID) {
+	ch := &f.chans[id]
+	return ch.from, ch.to
+}
+
+// ChannelBacklog returns the current queueing delay on the channel: how far
+// its serializer is booked past the present.
+func (f *Fabric) ChannelBacklog(id ChannelID) sim.Time {
+	if d := f.chans[id].nextFree - f.eng.Now(); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// SetBandwidthScale sets the channel's effective capacity to scale times
+// its configured bandwidth (1 restores full speed). Packets already
+// serialized keep their times; only future transmissions see the change.
+func (f *Fabric) SetBandwidthScale(id ChannelID, scale float64) {
+	if scale <= 0 {
+		panic(fmt.Sprintf("fabric: bandwidth scale %v must be positive (use SetDropRate(id, 1) for an outage)", scale))
+	}
+	ch := &f.chans[id]
+	if scale == 1 {
+		ch.bw = ch.baseBw
+		return
+	}
+	ch.bw = ch.baseBw * scale
+}
+
+// SetExtraLatency adds d to every future traversal of the channel on top of
+// the configured link latency (0 restores the baseline).
+func (f *Fabric) SetExtraLatency(id ChannelID, d sim.Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("fabric: negative extra latency %v", d))
+	}
+	f.chans[id].extraLat = d
+}
+
+// DropRateOverride returns the channel's current drop-rate override, or a
+// negative value when none is set (the global Config.DropRate applies).
+// Injectors that stack on the same channel snapshot it before perturbing
+// so their restore puts back what they found, not the global default.
+func (f *Fabric) DropRateOverride(id ChannelID) float64 {
+	return f.chans[id].dropOverride
+}
+
+// SetDropRate replaces Config.DropRate on this channel: 0 makes it
+// lossless, 1 takes it down entirely (every traversal drops), and a
+// negative rate clears the override, restoring the global configuration.
+func (f *Fabric) SetDropRate(id ChannelID, rate float64) {
+	if rate > 1 {
+		rate = 1
+	}
+	if rate < 0 {
+		rate = -1
+	}
+	f.chans[id].dropOverride = rate
+}
+
+// ClearOverrides restores the channel's configured bandwidth, latency and
+// drop behavior.
+func (f *Fabric) ClearOverrides(id ChannelID) {
+	ch := &f.chans[id]
+	ch.bw = ch.baseBw
+	ch.extraLat = 0
+	ch.dropOverride = -1
+}
+
+// UnicastPath returns the directed channels a unicast flow traverses from
+// src host to dst host under deterministic ECMP — the static path the flow
+// label pins. With AdaptiveRouting enabled the actual per-packet path is
+// random; the returned path is then one representative shortest path.
+// Scenario-level congestion control uses it to watch a flow's queues.
+func (f *Fabric) UnicastPath(src, dst topology.NodeID, flow uint64) []ChannelID {
+	if f.g.Nodes[src].Kind != topology.Host || f.g.Nodes[dst].Kind != topology.Host {
+		panic(fmt.Sprintf("fabric: UnicastPath(%d, %d): endpoints must be hosts", src, dst))
+	}
+	var path []ChannelID
+	node := src
+	for node != dst {
+		var port int
+		if f.g.Nodes[node].Kind == topology.Host {
+			port = 0 // the host's single uplink
+		} else {
+			cands := f.rt.Candidates(node, dst)
+			if len(cands) == 0 {
+				panic(fmt.Sprintf("fabric: switch %d has no route to %d", node, dst))
+			}
+			port = cands[0]
+			if len(cands) > 1 {
+				port = cands[ecmpHash(flow, src, dst)%uint64(len(cands))]
+			}
+		}
+		nb := f.g.Adj[node][port]
+		if f.g.Links[nb.Link].A == node {
+			path = append(path, ChannelID(2*nb.Link))
+		} else {
+			path = append(path, ChannelID(2*nb.Link+1))
+		}
+		node = nb.Peer
+	}
+	return path
+}
+
+// InjectBackground sends one non-collective packet from src toward dst,
+// occupying the same channels (and the same serialization slots) as
+// collective traffic — the packet-injection hook the multi-tenant scenarios
+// stand on. Both endpoints must be hosts; dst needs no NIC, the packet is
+// only counted on delivery. Returns the time the packet finishes
+// serializing onto src's uplink.
+func (f *Fabric) InjectBackground(src, dst topology.NodeID, payloadBytes int, flow uint64) sim.Time {
+	if f.g.Nodes[src].Kind != topology.Host || f.g.Nodes[dst].Kind != topology.Host {
+		panic(fmt.Sprintf("fabric: background flow %d->%d endpoints must be hosts", src, dst))
+	}
+	if payloadBytes > f.cfg.MTU {
+		panic(fmt.Sprintf("fabric: background payload %d exceeds MTU %d", payloadBytes, f.cfg.MTU))
+	}
+	if payloadBytes < 0 {
+		panic("fabric: negative background payload size")
+	}
+	pkt := &Packet{
+		Src: src, Dst: dst, Group: NoGroup, Flow: flow,
+		PayloadBytes: payloadBytes, Background: true,
+	}
+	pkt.ID = f.nextPktID
+	f.nextPktID++
+	f.BackgroundInjected++
+	f.BackgroundBytes += uint64(payloadBytes)
+	return f.transmit(pkt, src, 0)
 }
 
 // --- counters -------------------------------------------------------------
@@ -454,8 +630,8 @@ func (f *Fabric) MaxBacklog() sim.Time {
 	var max sim.Time
 	for i := range f.chans {
 		ch := &f.chans[i]
-		if f.g.Nodes[ch.from].Kind == topology.Switch && ch.maxBacklog > max {
-			max = ch.maxBacklog
+		if f.g.Nodes[ch.from].Kind == topology.Switch && ch.stats.MaxBacklog > max {
+			max = ch.stats.MaxBacklog
 		}
 	}
 	return max
@@ -465,9 +641,9 @@ func (f *Fabric) MaxBacklog() sim.Time {
 func (f *Fabric) ResetCounters() {
 	for i := range f.chans {
 		f.chans[i].stats = PortStats{}
-		f.chans[i].maxBacklog = 0
 	}
 	f.TotalDropped = 0
+	f.BackgroundInjected, f.BackgroundDelivered, f.BackgroundBytes = 0, 0, 0
 	for _, nic := range f.nics {
 		nic.Injected, nic.Received = 0, 0
 	}

@@ -422,3 +422,154 @@ func TestMaxBacklogTracksCongestion(t *testing.T) {
 		t.Fatal("ResetCounters did not clear backlog")
 	}
 }
+
+// --- scenario extension layer ------------------------------------------------
+
+// uplinkOf returns the directed channel leaving host toward its switch.
+func uplinkOf(t *testing.T, f *Fabric, host topology.NodeID) ChannelID {
+	t.Helper()
+	for id := 0; id < f.NumChannels(); id++ {
+		from, _ := f.ChannelEnds(ChannelID(id))
+		if from == host {
+			return ChannelID(id)
+		}
+	}
+	t.Fatalf("host %d has no uplink channel", host)
+	return -1
+}
+
+func TestPortStatsMaxBacklogGauge(t *testing.T) {
+	// The per-channel backlog gauge must be observable through ChannelStats:
+	// an incast toward one host shows up on that host's downlink and only
+	// there, making scenario hotspots measurable per port.
+	eng, f, nics := testFabric(t, 4, Config{})
+	nics[0].Deliver = func(p *Packet) {}
+	for i := 0; i < 50; i++ {
+		for s := 1; s < 4; s++ {
+			nics[s].Inject(&Packet{Dst: nics[0].Host, Group: NoGroup, PayloadBytes: 4096})
+		}
+	}
+	eng.Run()
+	hub := f.Graph().Switches()[0]
+	down := f.ChannelStats(hub, nics[0].Host)
+	if down.MaxBacklog < 10*sim.Microsecond {
+		t.Fatalf("victim downlink MaxBacklog = %v, want substantial queueing", down.MaxBacklog)
+	}
+	quietDown := f.ChannelStats(hub, nics[1].Host)
+	if quietDown.MaxBacklog != 0 {
+		t.Fatalf("idle downlink MaxBacklog = %v, want 0", quietDown.MaxBacklog)
+	}
+	if got, want := f.MaxBacklog(), down.MaxBacklog; got != want {
+		t.Fatalf("fabric MaxBacklog = %v, want the hot channel's %v", got, want)
+	}
+}
+
+func TestBandwidthScaleOverride(t *testing.T) {
+	// Halving a host uplink's bandwidth must double its serialization time;
+	// scale 1 must restore the exact baseline delivery time.
+	deliveryAt := func(scale float64) sim.Time {
+		eng, f, nics := testFabric(t, 2, Config{})
+		var at sim.Time
+		nics[1].Deliver = func(p *Packet) { at = eng.Now() }
+		up := uplinkOf(t, f, nics[0].Host)
+		if scale != 0 {
+			f.SetBandwidthScale(up, scale)
+		}
+		nics[0].Inject(&Packet{Dst: nics[1].Host, Group: NoGroup, PayloadBytes: 4096})
+		eng.Run()
+		return at
+	}
+	base, restored := deliveryAt(0), deliveryAt(1)
+	if base != restored {
+		t.Fatalf("scale 1 delivery %v differs from baseline %v", restored, base)
+	}
+	slow := deliveryAt(0.5)
+	// Serialization on the degraded hop doubles; the other hop and both
+	// propagation delays are unchanged.
+	bw := 25e9
+	wire := sim.Time(float64(4096+64) / bw * 1e9)
+	if diff := slow - base; diff < wire-2 || diff > wire+2 {
+		t.Fatalf("0.5x scale added %v, want ≈ one extra wire time %v", diff, wire)
+	}
+}
+
+func TestDropRateOverrideAndRestore(t *testing.T) {
+	// SetDropRate(id, 1) takes the channel down: every traversal drops and
+	// the reliability counters tick. Clearing the override restores
+	// delivery on an otherwise lossless fabric.
+	eng, f, nics := testFabric(t, 2, Config{})
+	got := 0
+	nics[1].Deliver = func(p *Packet) { got++ }
+	up := uplinkOf(t, f, nics[0].Host)
+	f.SetDropRate(up, 1)
+	nics[0].Inject(&Packet{Dst: nics[1].Host, Group: NoGroup, PayloadBytes: 1024})
+	eng.Run()
+	if got != 0 || f.TotalDropped != 1 {
+		t.Fatalf("downed link delivered %d packets, dropped %d; want 0 and 1", got, f.TotalDropped)
+	}
+	if s := f.ChannelStats(nics[0].Host, f.Graph().Switches()[0]); s.Drops != 1 {
+		t.Fatalf("per-channel Drops = %d, want 1", s.Drops)
+	}
+	f.SetDropRate(up, -1) // restore the (zero) configured rate
+	nics[0].Inject(&Packet{Dst: nics[1].Host, Group: NoGroup, PayloadBytes: 1024})
+	eng.Run()
+	if got != 1 {
+		t.Fatalf("restored link delivered %d packets, want 1", got)
+	}
+}
+
+func TestExtraLatencyOverride(t *testing.T) {
+	eng, f, nics := testFabric(t, 2, Config{})
+	var at sim.Time
+	nics[1].Deliver = func(p *Packet) { at = eng.Now() }
+	up := uplinkOf(t, f, nics[0].Host)
+	nics[0].Inject(&Packet{Dst: nics[1].Host, Group: NoGroup, PayloadBytes: 1024})
+	eng.Run()
+	base := at
+	f.SetExtraLatency(up, 5*sim.Microsecond)
+	start := eng.Now()
+	nics[0].Inject(&Packet{Dst: nics[1].Host, Group: NoGroup, PayloadBytes: 1024})
+	eng.Run()
+	if got, want := at-start, base+5*sim.Microsecond; got != want {
+		t.Fatalf("delayed delivery after %v, want %v", got, want)
+	}
+	f.ClearOverrides(up)
+	start = eng.Now()
+	nics[0].Inject(&Packet{Dst: nics[1].Host, Group: NoGroup, PayloadBytes: 1024})
+	eng.Run()
+	if got := at - start; got != base {
+		t.Fatalf("cleared override delivery after %v, want baseline %v", got, base)
+	}
+}
+
+func TestBackgroundInjectionOccupiesChannels(t *testing.T) {
+	// Background packets must contend for the same serializers as
+	// collective traffic (delaying it), count on the background gauges, and
+	// never reach a NIC's Deliver callback.
+	quietAt := func(bg int) sim.Time {
+		eng, f, nics := testFabric(t, 3, Config{})
+		var at sim.Time
+		delivered := 0
+		nics[1].Deliver = func(p *Packet) { at, delivered = eng.Now(), delivered+1 }
+		for i := 0; i < bg; i++ {
+			// Tenant flow shares host 0's uplink with the measured packet.
+			f.InjectBackground(nics[0].Host, nics[2].Host, 4096, uint64(i))
+		}
+		nics[0].Inject(&Packet{Dst: nics[1].Host, Group: NoGroup, PayloadBytes: 1024})
+		eng.Run()
+		if delivered != 1 {
+			t.Fatalf("measured packet delivered %d times, want 1", delivered)
+		}
+		if f.BackgroundInjected != uint64(bg) || f.BackgroundDelivered != uint64(bg) {
+			t.Fatalf("background counters injected=%d delivered=%d, want %d each",
+				f.BackgroundInjected, f.BackgroundDelivered, bg)
+		}
+		if f.BackgroundBytes != uint64(bg*4096) {
+			t.Fatalf("BackgroundBytes = %d, want %d", f.BackgroundBytes, bg*4096)
+		}
+		return at
+	}
+	if base, loaded := quietAt(0), quietAt(10); loaded <= base {
+		t.Fatalf("10 background packets did not delay delivery (%v vs %v)", loaded, base)
+	}
+}

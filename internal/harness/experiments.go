@@ -243,7 +243,7 @@ type Fig12Row struct {
 // its own fresh fabric through the registry; the instance's persistent
 // transport state carries from warmup into the measured iterations.
 func Fig12Traffic(nodes, msgBytes, iters int) ([]Fig12Row, error) {
-	recs, err := Fig12Records(nodes, msgBytes, iters)
+	recs, err := Fig12Records(nodes, msgBytes, iters, 0)
 	if err != nil {
 		return nil, err
 	}

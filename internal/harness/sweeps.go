@@ -86,29 +86,40 @@ func opForAlgo(algo string) (collective.Kind, error) {
 	return "", fmt.Errorf("harness: cannot derive operation from algorithm %q", algo)
 }
 
-// CollKernel is the sweep kernel for at-scale collectives on the 188-node
-// testbed model (Figures 10 and 11): it instantiates the point's algorithm
-// through the registry, runs one operation, and reports the unified Result
-// (with the per-rank critical-path extension where the protocol provides
-// it). The optional ChunkSize axis tunes the P2P baselines.
-func CollKernel(s sweep.Spec) (sweep.Record, error) {
+// collPoint resolves one collective grid point on the testbed model: the
+// operation kind (derived from the algorithm name when the Op axis is
+// unused), a fresh fabric, and the point's algorithm over the first Nodes
+// hosts. Shared by CollKernel and ResilienceKernel so the quiet-scenario
+// anchor of slowdown_vs_quiet cannot drift from the plain collective
+// kernel.
+func collPoint(s sweep.Spec) (sweep.Spec, *fabric.Fabric, collective.Algorithm, error) {
 	if s.Op == "" {
 		kind, err := opForAlgo(s.Algorithm)
 		if err != nil {
-			return sweep.Record{}, err
+			return s, nil, nil, err
 		}
 		s.Op = string(kind)
 	}
 	_, f := testbedFabric(s.Seed, 0)
 	hosts := f.Graph().Hosts()
 	if s.Nodes < 1 || s.Nodes > len(hosts) {
-		return sweep.Record{}, fmt.Errorf("harness: %d nodes exceed testbed (%d)", s.Nodes, len(hosts))
+		return s, nil, nil, fmt.Errorf("harness: %d nodes exceed testbed (%d)", s.Nodes, len(hosts))
 	}
 	alg, err := registry.New(cluster.New(f, cluster.Config{}), s.Algorithm, registry.Options{
 		Hosts: hosts[:s.Nodes],
 		Core:  core.Config{Transport: verbs.UD},
 		Coll:  coll.Config{ChunkBytes: s.ChunkSize},
 	})
+	return s, f, alg, err
+}
+
+// CollKernel is the sweep kernel for at-scale collectives on the 188-node
+// testbed model (Figures 10 and 11): it instantiates the point's algorithm
+// through the registry, runs one operation, and reports the unified Result
+// (with the per-rank critical-path extension where the protocol provides
+// it). The optional ChunkSize axis tunes the P2P baselines.
+func CollKernel(s sweep.Spec) (sweep.Record, error) {
+	s, _, alg, err := collPoint(s)
 	if err != nil {
 		return sweep.Record{}, err
 	}
@@ -300,11 +311,11 @@ func fig12Kernel(iters int) sweep.Func {
 	}
 }
 
-// Fig12Records runs the four cells and adds the cross-cell
-// "savings_vs_p2p" metric (P2P switch bytes / multicast switch bytes for
-// the same operation) onto every record.
-func Fig12Records(nodes, msgBytes, iters int) ([]sweep.Record, error) {
-	recs, err := sweep.Run(Fig12Specs(nodes, msgBytes), 0, fig12Kernel(iters))
+// Fig12Records runs the four cells on workers goroutines (0 = GOMAXPROCS)
+// and adds the cross-cell "savings_vs_p2p" metric (P2P switch bytes /
+// multicast switch bytes for the same operation) onto every record.
+func Fig12Records(nodes, msgBytes, iters, workers int) ([]sweep.Record, error) {
+	recs, err := sweep.Run(Fig12Specs(nodes, msgBytes), workers, fig12Kernel(iters))
 	if err != nil {
 		return nil, err
 	}

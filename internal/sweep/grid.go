@@ -1,7 +1,7 @@
 package sweep
 
 // Grid declares a parameter sweep: the cartesian product of every non-empty
-// axis, expanded in row-major order (Algorithms outermost, ChunkSizes
+// axis, expanded in row-major order (Algorithms outermost, Scenarios
 // innermost). An empty axis contributes a single zero value, so a Grid only
 // names the dimensions it actually varies — a driver that sweeps message
 // sizes for two transports sets just MsgBytes and Transports.
@@ -13,6 +13,10 @@ type Grid struct {
 	Transports []string `json:"transports,omitempty"`
 	Threads    []int    `json:"threads,omitempty"`
 	ChunkSizes []int    `json:"chunk_sizes,omitempty"`
+	// Scenarios names internal/scenario presets to run each point under
+	// ("quiet", "flap-spine", ...). Empty means the quiet fabric, exactly
+	// as before the axis existed.
+	Scenarios []string `json:"scenarios,omitempty"`
 	// Seed is the base seed; each expanded point derives its own with
 	// PointSeed(Seed, index). Zero is a valid base.
 	Seed uint64 `json:"seed,omitempty"`
@@ -38,7 +42,7 @@ func (g Grid) Points() int {
 	for _, k := range []int{
 		len(orStr(g.Algorithms)), len(orStr(g.Ops)), len(orInt(g.Nodes)),
 		len(orInt(g.MsgBytes)), len(orStr(g.Transports)), len(orInt(g.Threads)),
-		len(orInt(g.ChunkSizes)),
+		len(orInt(g.ChunkSizes)), len(orStr(g.Scenarios)),
 	} {
 		n *= k
 	}
@@ -57,14 +61,17 @@ func (g Grid) Expand() []Spec {
 					for _, tr := range orStr(g.Transports) {
 						for _, th := range orInt(g.Threads) {
 							for _, cs := range orInt(g.ChunkSizes) {
-								specs = append(specs, Spec{
-									Algorithm: alg, Op: op, Nodes: nodes,
-									MsgBytes: msg, Transport: tr,
-									Threads: th, ChunkSize: cs,
-									Seed:  PointSeed(g.Seed, idx),
-									Index: idx,
-								})
-								idx++
+								for _, sc := range orStr(g.Scenarios) {
+									specs = append(specs, Spec{
+										Algorithm: alg, Op: op, Nodes: nodes,
+										MsgBytes: msg, Transport: tr,
+										Threads: th, ChunkSize: cs,
+										Scenario: sc,
+										Seed:     PointSeed(g.Seed, idx),
+										Index:    idx,
+									})
+									idx++
+								}
 							}
 						}
 					}

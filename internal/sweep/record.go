@@ -64,6 +64,7 @@ var specColumns = []specColumn{
 	{"msg_bytes", func(s Spec) string { return fmt.Sprint(s.MsgBytes) }, func(s Spec) bool { return s.MsgBytes != 0 }},
 	{"threads", func(s Spec) string { return fmt.Sprint(s.Threads) }, func(s Spec) bool { return s.Threads != 0 }},
 	{"chunk_size", func(s Spec) string { return fmt.Sprint(s.ChunkSize) }, func(s Spec) bool { return s.ChunkSize != 0 }},
+	{"scenario", func(s Spec) string { return s.Scenario }, func(s Spec) bool { return s.Scenario != "" }},
 }
 
 // activeSpecColumns returns the spec axes any record actually uses.

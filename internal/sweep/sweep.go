@@ -42,6 +42,9 @@ type Spec struct {
 	Threads int `json:"threads,omitempty"`
 	// ChunkSize is the fragmentation unit in bytes.
 	ChunkSize int `json:"chunk_size,omitempty"`
+	// Scenario names the internal/scenario preset the point runs under
+	// ("flap-spine", "tenant-50load", ...). Empty means quiet.
+	Scenario string `json:"scenario,omitempty"`
 	// Seed is the simulation seed for this point, derived from the grid's
 	// base seed and the point's index by PointSeed.
 	Seed uint64 `json:"seed"`
@@ -53,8 +56,8 @@ type Spec struct {
 // Seed and Index — used to match points across runs of the same grid shape
 // (Compare) even when base seeds differ.
 func (s Spec) Key() string {
-	return fmt.Sprintf("%s/%s/n%d/b%d/%s/t%d/c%d",
-		s.Algorithm, s.Op, s.Nodes, s.MsgBytes, s.Transport, s.Threads, s.ChunkSize)
+	return fmt.Sprintf("%s/%s/n%d/b%d/%s/t%d/c%d/%s",
+		s.Algorithm, s.Op, s.Nodes, s.MsgBytes, s.Transport, s.Threads, s.ChunkSize, s.Scenario)
 }
 
 // String renders the non-zero axes, for error messages and labels.
@@ -81,6 +84,9 @@ func (s Spec) String() string {
 	}
 	if s.ChunkSize != 0 {
 		add("chunk=%d", s.ChunkSize)
+	}
+	if s.Scenario != "" {
+		add("scenario=%s", s.Scenario)
 	}
 	if len(parts) == 0 {
 		return fmt.Sprintf("point %d", s.Index)

@@ -247,3 +247,45 @@ func TestLoadRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestScenarioAxisExpansion(t *testing.T) {
+	// The Scenario axis participates in the product (innermost) and in
+	// Key/String; leaving it empty reproduces the pre-axis expansion
+	// exactly, seeds included, so existing grids are unchanged.
+	g := Grid{Algorithms: []string{"a"}, MsgBytes: []int{1, 2},
+		Scenarios: []string{"quiet", "flap-spine"}, Seed: 3}
+	specs := g.Expand()
+	if len(specs) != 4 || g.Points() != 4 {
+		t.Fatalf("want 4 points, got %d (Points %d)", len(specs), g.Points())
+	}
+	wantOrder := []string{"quiet", "flap-spine", "quiet", "flap-spine"}
+	for i, s := range specs {
+		if s.Scenario != wantOrder[i] {
+			t.Fatalf("point %d scenario %q, want %q", i, s.Scenario, wantOrder[i])
+		}
+	}
+	if k0, k1 := specs[0].Key(), specs[1].Key(); k0 == k1 {
+		t.Fatalf("scenario not part of Key: %q", k0)
+	}
+	if s := specs[1].String(); !strings.Contains(s, "scenario=flap-spine") {
+		t.Fatalf("String() %q does not name the scenario", s)
+	}
+
+	// A grid without the axis must reproduce the pre-axis expansion
+	// exactly — pinned against golden seeds captured before the Scenario
+	// axis existed (testGrid: 12 points, base seed 7).
+	specs = testGrid().Expand()
+	golden := map[int]uint64{
+		0:  8581286081765471666,
+		1:  1988111358474182198,
+		11: 10844028036091490113,
+	}
+	for i, want := range golden {
+		if specs[i].Scenario != "" {
+			t.Fatalf("axis-free grid produced scenario %q at point %d", specs[i].Scenario, i)
+		}
+		if got := specs[i].Seed; got != want {
+			t.Fatalf("point %d seed = %d, want pre-axis golden %d", i, got, want)
+		}
+	}
+}
