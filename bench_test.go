@@ -197,6 +197,39 @@ func BenchmarkFig16TbitScaling(b *testing.B) {
 	b.ReportMetric(harness.Tbit16Target/1e6, "target-Mchunks/s")
 }
 
+// BenchmarkAllreduce16 runs the composed multicast Allreduce (ring
+// Reduce-Scatter + multicast Allgather) at 16 ranks / 1 MiB on a warm
+// communicator: the end-to-end event-engine workload the scheduler
+// overhaul targets. Reported events/sec is simulated events per wall
+// second across the whole stack (fabric, verbs, DPA, protocol); allocs/op
+// is the per-operation garbage the pooled engine is gated on in CI.
+func BenchmarkAllreduce16(b *testing.B) {
+	sys, err := NewSystem(SystemConfig{Hosts: 16, HostsPerLeaf: 4, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg, err := NewAlgorithm(sys, "mcast-allreduce", AlgorithmOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	op := Op{Kind: Allreduce, Bytes: 1 << 20}
+	if _, err := alg.Run(op); err != nil { // warm QPs, buffers, event pool
+		b.Fatal(err)
+	}
+	start := sys.Engine.Executed
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.Run(op); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	executed := sys.Engine.Executed - start
+	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(executed)/float64(b.N), "events/op")
+}
+
 // BenchmarkAppBSpeedup measures the concurrent {AG, RS} speedup at P=16
 // against the closed-form 2 - 2/P.
 func BenchmarkAppBSpeedup(b *testing.B) {

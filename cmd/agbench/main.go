@@ -30,6 +30,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write sweep records as JSON to this path")
 	csvPath := flag.String("csv", "", "write sweep records as CSV to this path")
 	flag.Parse()
+	defer cli.StartCPUProfile()()
 
 	var recs []sweep.Record
 	var err error

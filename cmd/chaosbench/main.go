@@ -47,6 +47,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write sweep records as JSON to this path")
 	csvPath := flag.String("csv", "", "write sweep records as CSV to this path")
 	flag.Parse()
+	defer cli.StartCPUProfile()()
 
 	if *nodes < 2 || *nodes > 188 {
 		cli.Fatalf(2, "chaosbench: nodes must be in [2,188], got %d", *nodes)

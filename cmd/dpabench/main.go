@@ -30,6 +30,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write all produced sweep records as JSON to this path")
 	csvPath := flag.String("csv", "", "write all produced sweep records as CSV to this path")
 	flag.Parse()
+	defer cli.StartCPUProfile()()
 
 	if !*all && *fig == 0 && *table == 0 {
 		flag.Usage()

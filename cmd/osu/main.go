@@ -57,6 +57,7 @@ func main() {
 	tol := flag.Float64("tol", 0.05, "relative tolerance for -compare")
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
+	defer cli.StartCPUProfile()()
 
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {

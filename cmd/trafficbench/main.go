@@ -31,6 +31,7 @@ func main() {
 	csvPath := flag.String("csv", "", "write sweep records as CSV to this path")
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
+	defer cli.StartCPUProfile()()
 
 	if *nodes < 2 || *nodes > 188 {
 		cli.Fatalf(2, "trafficbench: nodes must be in [2,188], got %d", *nodes)

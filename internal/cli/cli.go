@@ -2,9 +2,16 @@
 package cli
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 )
+
+// cpuProfile registers the shared -cpuprofile flag on the default flag set:
+// importing this package from a main is enough for the flag to exist, and
+// every cmd binary calls StartCPUProfile right after flag.Parse.
+var cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 
 // Fatalf prints the formatted message to stderr and exits with code.
 // Convention across the binaries: 2 for invalid flags or parameters,
@@ -12,4 +19,31 @@ import (
 func Fatalf(code int, format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(code)
+}
+
+// StartCPUProfile begins CPU profiling if -cpuprofile was given and returns
+// the stop function; with the flag unset it is a no-op. Call it after
+// flag.Parse and defer the stop:
+//
+//	defer cli.StartCPUProfile()()
+//
+// Exits with code 2 on an unwritable path, matching the invalid-flag
+// convention. (A run that ends through Fatalf loses the profile tail, like
+// any crashed profiled process — acceptable for a diagnostics flag.)
+func StartCPUProfile() func() {
+	if *cpuProfile == "" {
+		return func() {}
+	}
+	f, err := os.Create(*cpuProfile)
+	if err != nil {
+		Fatalf(2, "cpuprofile: %v", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		Fatalf(2, "cpuprofile: %v", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dpa"
+	"repro/internal/sim"
 	"repro/internal/verbs"
 )
 
@@ -43,7 +44,7 @@ func (t *Team) StartRingAllgather(n int, cb func(*Result)) error {
 		p.op = st
 		if size == 1 {
 			st.fin = true
-			t.eng.After(0, func() { d.rankDone(p) })
+			t.eng.AfterHandler(0, d, 0, 0, p)
 			continue
 		}
 		st.sendStep()
@@ -71,12 +72,19 @@ func (st *ringAGState) sendStep() {
 	block := (st.p.id - st.step + size) % size
 	right := (st.p.id + 1) % size
 	qp := t.qpTo(st.p.id, right)
-	// Posting cost on the progress thread, then the zero-copy write.
+	// Posting cost on the progress thread, then the zero-copy write. The QP
+	// is resolved here, at scheduling time, so lazy QP creation order (and
+	// with it QPN/flow assignment) is unchanged from the closure days.
 	post := st.p.thread.Run(dpa.SendPost, t.eng.Now())
-	t.eng.At(post, func() {
-		qp.PostWriteRC(uint64(block), st.recvMR, block*st.n, st.n,
-			st.recvMR.Key, block*st.n, t.encImm(block), true)
-	})
+	t.eng.AtHandler(post, st, uint64(block), 0, qp)
+}
+
+// OnEvent posts the scheduled ring write: arg0 is the block, obj the QP.
+func (st *ringAGState) OnEvent(_ *sim.Engine, _ sim.Handle, arg0 uint64, _ int, obj any) {
+	t := st.p.team
+	block := int(arg0)
+	obj.(*verbs.QP).PostWriteRC(arg0, st.recvMR, block*st.n, st.n,
+		st.recvMR.Key, block*st.n, t.encImm(block), true)
 }
 
 func (st *ringAGState) handle(e verbs.CQE) {
@@ -137,7 +145,7 @@ func (t *Team) StartLinearAllgather(n int, cb func(*Result)) error {
 		p.op = st
 		if size == 1 {
 			st.fin = true
-			t.eng.After(0, func() { d.rankDone(p) })
+			t.eng.AfterHandler(0, d, 0, 0, p)
 			continue
 		}
 		st.postAll()
@@ -167,13 +175,17 @@ func (st *linearAGState) postAll() {
 		dst := (st.p.id + q) % size
 		qp := t.qpTo(st.p.id, dst)
 		post = st.p.thread.Run(dpa.SendPost, post)
-		block := st.p.id
-		t.eng.At(post, func() {
-			qp.PostWriteRC(uint64(block), st.recvMR, block*st.n, st.n,
-				st.recvMR.Key, block*st.n, t.encImm(block), true)
-		})
+		t.eng.AtHandler(post, st, uint64(st.p.id), 0, qp)
 		st.pending++
 	}
+}
+
+// OnEvent posts the rank's block to one destination: obj is the QP.
+func (st *linearAGState) OnEvent(_ *sim.Engine, _ sim.Handle, arg0 uint64, _ int, obj any) {
+	t := st.p.team
+	block := int(arg0)
+	obj.(*verbs.QP).PostWriteRC(arg0, st.recvMR, block*st.n, st.n,
+		st.recvMR.Key, block*st.n, t.encImm(block), true)
 }
 
 func (st *linearAGState) handle(e verbs.CQE) {
@@ -239,7 +251,7 @@ func (t *Team) StartRecursiveDoublingAllgather(n int, cb func(*Result)) error {
 		p.op = st
 		if size == 1 {
 			st.fin = true
-			t.eng.After(0, func() { d.rankDone(p) })
+			t.eng.AfterHandler(0, d, 0, 0, p)
 			continue
 		}
 		st.exchange()
@@ -267,16 +279,22 @@ func (st *rdAGState) exchange() {
 	t := st.p.team
 	dist := 1 << st.round
 	partner := st.p.id ^ dist
-	// The owned range after k rounds starts at (id &^ (2^k - 1)) blocks.
-	start := st.p.id &^ (dist - 1)
 	qp := t.qpTo(st.p.id, partner)
 	post := st.p.thread.Run(dpa.SendPost, t.eng.Now())
-	bytes := dist * st.n
-	off := start * st.n
-	t.eng.At(post, func() {
-		qp.PostWriteRC(uint64(st.round), st.recvMR, off, bytes,
-			st.recvMR.Key, off, t.encImm(st.round), true)
-	})
+	t.eng.AtHandler(post, st, uint64(st.round), 0, qp)
+}
+
+// OnEvent posts the scheduled round exchange: arg0 is the round, obj the
+// QP. The round only advances once this post's own send completes, so the
+// offsets derived here match what scheduling time would have computed.
+func (st *rdAGState) OnEvent(_ *sim.Engine, _ sim.Handle, arg0 uint64, _ int, obj any) {
+	t := st.p.team
+	round := int(arg0)
+	dist := 1 << round
+	// The owned range after k rounds starts at (id &^ (2^k - 1)) blocks.
+	off := (st.p.id &^ (dist - 1)) * st.n
+	obj.(*verbs.QP).PostWriteRC(arg0, st.recvMR, off, dist*st.n,
+		st.recvMR.Key, off, t.encImm(round), true)
 }
 
 func (st *rdAGState) handle(e verbs.CQE) {
@@ -389,7 +407,7 @@ func (t *Team) StartBruckAllgather(n int, cb func(*Result)) error {
 		p.op = st
 		if size == 1 {
 			st.fin = true
-			t.eng.After(0, func() { d.rankDone(p) })
+			t.eng.AfterHandler(0, d, 0, 0, p)
 			continue
 		}
 		st.exchange()
@@ -415,21 +433,27 @@ func (st *bruckAGState) exchange() {
 	t := st.p.team
 	size := t.Size()
 	dist := 1 << st.round
-	blocks := dist
-	if rest := size - st.have; blocks > rest {
-		blocks = rest // final partial round for non-power-of-two sizes
-	}
 	dst := (st.p.id - dist + size) % size
 	qp := t.qpTo(st.p.id, dst)
 	post := st.p.thread.Run(dpa.SendPost, t.eng.Now())
-	bytes := blocks * st.n
+	t.eng.AtHandler(post, st, uint64(st.round), 0, qp)
+}
+
+// OnEvent posts the scheduled Bruck round: arg0 is the round, obj the QP.
+// st.have cannot advance between scheduling and firing (advancing round k
+// requires the send completion this very post produces), so the counts and
+// offsets derived here equal the scheduling-time values.
+func (st *bruckAGState) OnEvent(_ *sim.Engine, _ sim.Handle, arg0 uint64, _ int, obj any) {
+	t := st.p.team
+	round := int(arg0)
+	blocks := 1 << round
+	if rest := t.Size() - st.have; blocks > rest {
+		blocks = rest
+	}
 	// Sent blocks land appended after the receiver's current blocks: the
 	// receiver has the same count we do (lockstep rounds).
-	roff := st.have * st.n
-	t.eng.At(post, func() {
-		qp.PostWriteRC(uint64(st.round), st.workMR, 0, bytes,
-			st.workMR.Key, roff, t.encImm(st.round), true)
-	})
+	obj.(*verbs.QP).PostWriteRC(arg0, st.workMR, 0, blocks*st.n,
+		st.workMR.Key, st.have*st.n, t.encImm(round), true)
 }
 
 func (st *bruckAGState) handle(e verbs.CQE) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dpa"
+	"repro/internal/sim"
 	"repro/internal/verbs"
 )
 
@@ -172,7 +173,7 @@ func (t *Team) startTreeBcast(kind string, root, n, chunk int, cb func(*Result),
 			st.forwardReady()
 			if len(st.children) == 0 {
 				st.fin = true
-				t.eng.After(0, func() { d.rankDone(p) })
+				t.eng.AfterHandler(0, d, 0, 0, p)
 			}
 		}
 	}
@@ -197,13 +198,18 @@ func (st *treeBcastState) forwardReady() {
 		for _, child := range st.children {
 			qp := t.qpTo(st.p.id, child)
 			post = st.p.thread.Run(dpa.SendPost, post)
-			c, off, length := c, off, length
-			t.eng.At(post, func() {
-				qp.PostWriteRC(uint64(c), st.buf, off, length, st.buf.Key, off, t.encImm(c), true)
-			})
+			t.eng.AtHandler(post, st, uint64(c), length, qp)
 			st.fwd++
 		}
 	}
+}
+
+// OnEvent posts one scheduled chunk forward: arg0 is the chunk index, arg1
+// its length, obj the child's QP.
+func (st *treeBcastState) OnEvent(_ *sim.Engine, _ sim.Handle, arg0 uint64, arg1 int, obj any) {
+	t := st.p.team
+	off := int(arg0) * st.chunk
+	obj.(*verbs.QP).PostWriteRC(arg0, st.buf, off, arg1, st.buf.Key, off, t.encImm(int(arg0)), true)
 }
 
 func (st *treeBcastState) handle(e verbs.CQE) {

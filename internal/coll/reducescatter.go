@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dpa"
 	"repro/internal/fabric"
+	"repro/internal/sim"
 	"repro/internal/verbs"
 )
 
@@ -41,7 +42,7 @@ func (t *Team) StartRingReduceScatter(n int, cb func(*Result)) error {
 		p.op = st
 		if size == 1 {
 			st.fin = true
-			t.eng.After(0, func() { d.rankDone(p) })
+			t.eng.AfterHandler(0, d, 0, 0, p)
 			continue
 		}
 		st.sendStep()
@@ -69,10 +70,22 @@ func (st *ringRSState) sendStep() {
 	right := (st.p.id + 1) % size
 	qp := t.qpTo(st.p.id, right)
 	post := st.p.thread.Run(dpa.SendPost, t.eng.Now())
-	t.eng.At(post, func() {
-		qp.PostWriteRC(uint64(shard), st.workMR, shard*st.n, st.n,
+	t.eng.AtHandler(post, st, uint64(shard), 0, qp)
+}
+
+// OnEvent dispatches the state's two timer kinds: with a QP payload it
+// posts the scheduled shard write (arg0 = shard); with no payload it is a
+// vector-reduction completing on the progress thread.
+func (st *ringRSState) OnEvent(_ *sim.Engine, _ sim.Handle, arg0 uint64, _ int, obj any) {
+	if qp, ok := obj.(*verbs.QP); ok {
+		t := st.p.team
+		shard := int(arg0)
+		qp.PostWriteRC(arg0, st.workMR, shard*st.n, st.n,
 			st.workMR.Key, shard*st.n, t.encImm(shard), true)
-	})
+		return
+	}
+	st.reduced++
+	st.advance()
 }
 
 func (st *ringRSState) handle(e verbs.CQE) {
@@ -87,10 +100,7 @@ func (st *ringRSState) handle(e verbs.CQE) {
 		// thread, so back-to-back arrivals reduce one after another.)
 		cycles := float64(st.n) * st.p.node.CPU.Freq / reduceBandwidth
 		done := st.p.thread.RunCycles(cycles, cycles, t.eng.Now())
-		t.eng.At(done, func() {
-			st.reduced++
-			st.advance()
-		})
+		t.eng.AtHandler(done, st, 0, 0, nil)
 		return
 	case verbs.OpSend:
 		st.sent++
@@ -125,17 +135,22 @@ func (st *ringRSState) done() bool { return st.fin }
 // the receive path carries only the rank's own shard — the complement of
 // the multicast Allgather's profile (Insight 2).
 type incRSState struct {
-	p         *peer
-	d         *opDriver
-	n         int // shard bytes
-	posted    int
-	toPost    int
-	received  int
-	expect    int
-	fin       bool
-	sendMR    *verbs.MR
-	recvMR    *verbs.MR
-	batchCont func()
+	p        *peer
+	d        *opDriver
+	n        int // shard bytes
+	posted   int
+	toPost   int
+	received int
+	expect   int
+	fin      bool
+	sendMR   *verbs.MR
+	recvMR   *verbs.MR
+	rg       fabric.ReduceGroupID
+	// mtu and chunksPerShard are fixed per operation; cached here so the
+	// per-chunk post events do not redo the divisions.
+	mtu            int
+	chunksPerShard int
+	batchCont      func()
 }
 
 // StartINCReduceScatter begins a non-blocking in-network Reduce-Scatter.
@@ -151,10 +166,12 @@ func (t *Team) StartINCReduceScatter(rg fabric.ReduceGroupID, n int, cb func(*Re
 	for _, p := range t.peers {
 		st := &incRSState{
 			p: p, d: d, n: n,
-			toPost: chunksPerShard * size,
-			expect: chunksPerShard,
-			sendMR: p.buf(n * size),
-			recvMR: p.buf(n),
+			toPost:         chunksPerShard * size,
+			expect:         chunksPerShard,
+			mtu:            mtu,
+			chunksPerShard: chunksPerShard,
+			sendMR:         p.buf(n * size),
+			recvMR:         p.buf(n),
 		}
 		p.op = st
 		// The owner's shard results consume posted receives on the UD QP.
@@ -191,34 +208,42 @@ func (t *Team) RunINCReduceScatter(rg fabric.ReduceGroupID, n int) (*Result, err
 // tracks the wire.
 func (st *incRSState) postContributions(rg fabric.ReduceGroupID) {
 	t := st.p.team
-	mtu := t.f.MaxPayload()
-	chunksPerShard := (st.n + mtu - 1) / mtu
 	const batch = 64
-	var postBatch func()
-	postBatch = func() {
+	st.rg = rg
+	postBatch := func() {
 		post := t.eng.Now()
 		for i := 0; i < batch && st.posted < st.toPost; i++ {
 			idx := st.posted
 			st.posted++
-			shard := idx / chunksPerShard
-			c := idx % chunksPerShard
-			off := shard*st.n + c*mtu
-			length := st.n - c*mtu
-			if length > mtu {
-				length = mtu
-			}
-			owner := t.peers[shard]
 			signaled := i == batch-1 || st.posted == st.toPost
 			post = st.p.thread.Run(dpa.SendPost, post)
-			chunkID := uint64(shard)<<32 | uint64(c)
-			t.eng.At(post, func() {
-				st.p.udQP.PostSendReduce(0, verbs.Unicast(owner.node.Host, owner.udQP.N),
-					rg, chunkID, st.sendMR, off, length, t.encImm(c), signaled)
-			})
+			sig := 0
+			if signaled {
+				sig = 1
+			}
+			t.eng.AtHandler(post, st, uint64(idx), sig, nil)
 		}
 	}
 	st.batchCont = postBatch
 	postBatch()
+}
+
+// OnEvent posts one scheduled contribution chunk into the reduction tree:
+// arg0 is the flat chunk index, arg1 the signaled flag.
+func (st *incRSState) OnEvent(_ *sim.Engine, _ sim.Handle, arg0 uint64, arg1 int, _ any) {
+	t := st.p.team
+	idx := int(arg0)
+	shard := idx / st.chunksPerShard
+	c := idx % st.chunksPerShard
+	off := shard*st.n + c*st.mtu
+	length := st.n - c*st.mtu
+	if length > st.mtu {
+		length = st.mtu
+	}
+	owner := t.peers[shard]
+	chunkID := uint64(shard)<<32 | uint64(c)
+	st.p.udQP.PostSendReduce(0, verbs.Unicast(owner.node.Host, owner.udQP.N),
+		st.rg, chunkID, st.sendMR, off, length, t.encImm(c), arg1 == 1)
 }
 
 func (st *incRSState) handle(e verbs.CQE) {

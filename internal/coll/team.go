@@ -196,6 +196,12 @@ func (d *opDriver) rankDone(p *peer) {
 	}
 }
 
+// OnEvent completes a rank asynchronously (the single-rank degenerate path
+// of every Start*): obj is the *peer to mark done.
+func (d *opDriver) OnEvent(_ *sim.Engine, _ sim.Handle, _ uint64, _ int, obj any) {
+	d.rankDone(obj.(*peer))
+}
+
 // immediate encoding shared by baseline ops: [31:24] op sequence low bits,
 // [23:0] tag (block / chunk index).
 func (t *Team) encImm(tag int) uint32 {

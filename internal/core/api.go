@@ -96,10 +96,7 @@ func (c *Communicator) startOp(kind opKind, root, n int, done func(*Result)) err
 		r.op = op
 		// Dispatch on the app thread (task-queue handoff cost, §IV-B).
 		t := r.appThread.Run(dpa.TaskDispatch, c.eng.Now())
-		c.eng.At(t, func() {
-			op.begin()
-			r.drainPendingCtrl()
-		})
+		c.eng.AtHandler(t, r, 0, 0, nil)
 	}
 	if kind == kindBarrier {
 		return nil

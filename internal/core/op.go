@@ -62,7 +62,7 @@ type opState struct {
 	txNext int
 
 	// Slow path.
-	cutoff      *sim.Event
+	cutoff      sim.Handle
 	recovering  bool
 	fetchWait   bool // request sent to the left neighbor, ack pending
 	fetchReads  [][2]int
@@ -325,10 +325,27 @@ func (op *opState) postBatch() {
 	for i := 0; i < b; i++ {
 		local := op.txNext
 		op.txNext++
-		signaled := i == b-1
+		signaled := 0
+		if i == b-1 {
+			signaled = 1
+		}
 		t = r.txThread.Run(dpa.SendPost, t)
-		r.comm.eng.At(t, func() { op.postChunk(local, signaled) })
+		r.comm.eng.AtHandler(t, op, uint64(local), signaled, nil)
 	}
+}
+
+// Event kinds dispatched through opState.OnEvent (arg1 on the cutoff path).
+const opEvCutoff = -1
+
+// OnEvent is the op's closure-free timer dispatch: the per-chunk TX posts
+// (arg0 = local chunk index, arg1 = signaled flag) and the receive cutoff
+// (arg1 == opEvCutoff).
+func (op *opState) OnEvent(_ *sim.Engine, _ sim.Handle, arg0 uint64, arg1 int, _ any) {
+	if arg1 == opEvCutoff {
+		op.startRecovery()
+		return
+	}
+	op.postChunk(int(arg0), arg1 == 1)
 }
 
 // postChunk injects one multicast chunk on its subgroup QP.
@@ -468,9 +485,7 @@ func (op *opState) maybeRxDone() {
 	op.rxDone = true
 	op.tRxDone = op.r.comm.eng.Now()
 	op.rec(trace.PhaseRxDone, "")
-	if op.cutoff != nil {
-		op.cutoff.Cancel()
-	}
+	op.cutoff.Cancel()
 	// Final handshake: tell the left neighbor we have everything.
 	if op.r.comm.Size() > 1 {
 		op.rec(trace.PhaseFinal, fmt.Sprintf("-> rank %d", op.r.left()))

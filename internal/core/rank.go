@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/dpa"
+	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/verbs"
 )
@@ -296,6 +297,13 @@ func (r *Rank) deliverCtrl(m ctrlMsg) {
 		return
 	}
 	r.op.handleCtrl(m)
+}
+
+// OnEvent runs the rank's deferred operation dispatch (the app-thread
+// task-queue handoff scheduled by Communicator.start).
+func (r *Rank) OnEvent(_ *sim.Engine, _ sim.Handle, _ uint64, _ int, _ any) {
+	r.op.begin()
+	r.drainPendingCtrl()
 }
 
 // drainPendingCtrl replays queued messages that belong to the (newly

@@ -23,6 +23,10 @@ type Arbiter struct {
 	next     int
 	inflight bool
 	stopped  bool
+	// pending is the entry in service (one at a time across all queues);
+	// armFn is the shared re-arm callback so sleeping does not allocate.
+	pending verbs.CQE
+	armFn   func()
 	// Processed counts entries served across all queues.
 	Processed uint64
 }
@@ -35,7 +39,9 @@ type arbQueue struct {
 
 // NewArbiter builds an arbitrating worker on one hardware thread.
 func NewArbiter(eng *sim.Engine, th *Thread, p Profile) *Arbiter {
-	return &Arbiter{Thread: th, Profile: p, eng: eng}
+	a := &Arbiter{Thread: th, Profile: p, eng: eng}
+	a.armFn = a.pump
+	return a
 }
 
 // Subscribe adds a completion queue with its handler. Subscriptions are
@@ -43,7 +49,7 @@ func NewArbiter(eng *sim.Engine, th *Thread, p Profile) *Arbiter {
 func (a *Arbiter) Subscribe(cq *verbs.CQ, handle func(e verbs.CQE)) {
 	q := &arbQueue{cq: cq, handle: handle}
 	a.queues = append(a.queues, q)
-	cq.Armed = func() { a.pump() }
+	cq.Armed = a.armFn
 	a.pump()
 }
 
@@ -69,20 +75,27 @@ func (a *Arbiter) pump() {
 		}
 		a.next = (a.next + i + 1) % n
 		a.inflight = true
+		a.pending = e
 		done := a.Thread.Run(a.Profile, a.eng.Now())
-		a.eng.At(done, func() {
-			a.inflight = false
-			a.Processed++
-			q.served++
-			if q.handle != nil {
-				q.handle(e)
-			}
-			a.pump()
-		})
+		a.eng.AtHandler(done, a, 0, 0, q)
 		return
 	}
 	// All drained: re-arm every queue for wake-up.
 	for _, q := range a.queues {
-		q.cq.Armed = func() { a.pump() }
+		q.cq.Armed = a.armFn
 	}
+}
+
+// OnEvent completes the in-flight entry's service time on its queue (obj)
+// and continues the round-robin.
+func (a *Arbiter) OnEvent(_ *sim.Engine, _ sim.Handle, _ uint64, _ int, obj any) {
+	a.inflight = false
+	a.Processed++
+	q := obj.(*arbQueue)
+	q.served++
+	e := a.pending
+	if q.handle != nil {
+		q.handle(e)
+	}
+	a.pump()
 }

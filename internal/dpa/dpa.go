@@ -221,6 +221,11 @@ type Worker struct {
 	eng      *sim.Engine
 	inflight bool
 	stopped  bool
+	// pending is the entry being serviced; only one is in flight at a time,
+	// so the completion event carries no payload (closure-free pump).
+	pending verbs.CQE
+	// armFn re-arms the CQ; built once so draining does not allocate.
+	armFn func()
 	// Processed counts entries fully handled.
 	Processed uint64
 	// LastDone is the service completion time of the most recent entry.
@@ -229,7 +234,9 @@ type Worker struct {
 
 // NewWorker binds a thread to a CQ with a kernel profile.
 func NewWorker(eng *sim.Engine, th *Thread, cq *verbs.CQ, p Profile) *Worker {
-	return &Worker{Thread: th, CQ: cq, Profile: p, eng: eng}
+	w := &Worker{Thread: th, CQ: cq, Profile: p, eng: eng}
+	w.armFn = w.pump
+	return w
 }
 
 // Start begins event-driven processing: the worker drains available
@@ -245,21 +252,27 @@ func (w *Worker) pump() {
 	}
 	e, ok := w.CQ.Poll()
 	if !ok {
-		w.CQ.Armed = func() { w.pump() }
+		w.CQ.Armed = w.armFn
 		if w.Idle != nil {
 			w.Idle()
 		}
 		return
 	}
 	w.inflight = true
+	w.pending = e
 	done := w.Thread.Run(w.Profile, w.eng.Now())
 	w.LastDone = done
-	w.eng.At(done, func() {
-		w.inflight = false
-		w.Processed++
-		if w.Handle != nil {
-			w.Handle(e)
-		}
-		w.pump()
-	})
+	w.eng.AtHandler(done, w, 0, 0, nil)
+}
+
+// OnEvent completes the in-flight entry's service time and continues the
+// pump.
+func (w *Worker) OnEvent(_ *sim.Engine, _ sim.Handle, _ uint64, _ int, _ any) {
+	w.inflight = false
+	w.Processed++
+	e := w.pending
+	if w.Handle != nil {
+		w.Handle(e)
+	}
+	w.pump()
 }

@@ -115,11 +115,16 @@ type PortStats struct {
 // channel is one direction of a link: a serializing resource. baseBw is the
 // configured capacity; bw is the effective capacity after any scenario
 // override (bw == baseBw when no override is active, so the quiet path
-// computes bit-identical serialization times).
+// computes bit-identical serialization times). serCache memoizes the last
+// serialization time by wire size, dropping the FP division from the
+// common same-size-packet case without changing a single bit of the result
+// (a reciprocal would round differently in the last ulp and move goldens).
 type channel struct {
 	from, to topology.NodeID
 	bw       float64 // effective bytes/sec
 	baseBw   float64 // configured bytes/sec
+	serSize  int     // wire size the cached serialization time is for
+	serTime  sim.Time
 	extraLat sim.Time
 	// dropOverride replaces Config.DropRate on this channel when >= 0.
 	dropOverride float64
@@ -148,6 +153,11 @@ type Fabric struct {
 	cfg Config
 	rng *sim.RNG
 
+	// Pre-built sim.Handler instances for the two fabric event kinds, so
+	// the per-hop scheduling path is closure-free and allocation-free.
+	arriveH  sim.Handler
+	deliverH sim.Handler
+
 	// chans[2*linkID+dir]: dir 0 = A->B, dir 1 = B->A.
 	chans        []channel
 	nics         map[topology.NodeID]*NIC
@@ -174,14 +184,16 @@ func New(eng *sim.Engine, g *topology.Graph, cfg Config) *Fabric {
 		rng:  eng.RNG().Split(),
 		nics: make(map[topology.NodeID]*NIC),
 	}
+	f.arriveH = (*arriveHandler)(f)
+	f.deliverH = (*deliverHandler)(f)
 	f.chans = make([]channel, 2*len(g.Links))
 	for _, l := range g.Links {
 		bwAB, bwBA := cfg.LinkBandwidth, cfg.LinkBandwidth
 		if g.Nodes[l.A].Kind == topology.Host || g.Nodes[l.B].Kind == topology.Host {
 			bwAB, bwBA = cfg.HostLinkBandwidth, cfg.HostLinkBandwidth
 		}
-		f.chans[2*l.ID] = channel{from: l.A, to: l.B, bw: bwAB, baseBw: bwAB, dropOverride: -1}
-		f.chans[2*l.ID+1] = channel{from: l.B, to: l.A, bw: bwBA, baseBw: bwBA, dropOverride: -1}
+		f.chans[2*l.ID] = channel{from: l.A, to: l.B, bw: bwAB, baseBw: bwAB, serSize: -1, dropOverride: -1}
+		f.chans[2*l.ID+1] = channel{from: l.B, to: l.A, bw: bwBA, baseBw: bwBA, serSize: -1, dropOverride: -1}
 	}
 	return f
 }
@@ -267,6 +279,21 @@ func (n *NIC) Inject(pkt *Packet) sim.Time {
 // wireBytes is the link occupancy of the packet.
 func (f *Fabric) wireBytes(pkt *Packet) int { return pkt.PayloadBytes + f.cfg.HeaderBytes }
 
+// serialization returns the wire time of size bytes on the channel,
+// memoizing the last (size, time) pair: back-to-back traffic on a channel
+// is overwhelmingly same-sized (MTU chunks one way, acks the other), so the
+// common case skips the division entirely — and a cache hit is bit-exact,
+// where a precomputed 1e9/bw reciprocal would round differently in the
+// last ulp and shift event times.
+func (ch *channel) serialization(size int) sim.Time {
+	if size == ch.serSize {
+		return ch.serTime
+	}
+	t := sim.Time(float64(size) / ch.bw * 1e9)
+	ch.serSize, ch.serTime = size, t
+	return t
+}
+
 // transmit serializes pkt onto the channel leaving node via port, then
 // schedules arrival processing at the peer. It returns the serialization
 // completion time on that channel.
@@ -274,11 +301,12 @@ func (f *Fabric) transmit(pkt *Packet, node topology.NodeID, port int) sim.Time 
 	nb := f.g.Adj[node][port]
 	ch := f.channelFor(node, nb.Link)
 	size := f.wireBytes(pkt)
-	serialize := sim.Time(float64(size) / ch.bw * 1e9)
+	serialize := ch.serialization(size)
 	start := ch.nextFree
-	if now := f.eng.Now(); start < now {
+	now := f.eng.Now()
+	if start < now {
 		start = now
-	} else if backlog := start - f.eng.Now(); backlog > ch.stats.MaxBacklog {
+	} else if backlog := start - now; backlog > ch.stats.MaxBacklog {
 		ch.stats.MaxBacklog = backlog
 	}
 	ch.nextFree = start + serialize
@@ -298,10 +326,27 @@ func (f *Fabric) transmit(pkt *Packet, node topology.NodeID, port int) sim.Time 
 	}
 
 	arrival := ch.nextFree + f.cfg.LinkLatency + ch.extraLat
-	peer := nb.Peer
-	link := nb.Link
-	f.eng.At(arrival, func() { f.arrive(pkt, peer, link) })
+	f.eng.AtHandler(arrival, f.arriveH, uint64(nb.Peer), nb.Link, pkt)
 	return ch.nextFree
+}
+
+// arriveHandler dispatches a packet's landing at a node; arg0 is the node,
+// arg1 the link it crossed, obj the *Packet.
+type arriveHandler Fabric
+
+func (h *arriveHandler) OnEvent(_ *sim.Engine, _ sim.Handle, arg0 uint64, arg1 int, obj any) {
+	(*Fabric)(h).arrive(obj.(*Packet), topology.NodeID(arg0), arg1)
+}
+
+// deliverHandler completes a jittered final-hop delivery; arg0 is the host,
+// obj the *Packet.
+type deliverHandler Fabric
+
+func (h *deliverHandler) OnEvent(_ *sim.Engine, _ sim.Handle, arg0 uint64, _ int, obj any) {
+	f := (*Fabric)(h)
+	if nic, ok := f.nics[topology.NodeID(arg0)]; ok {
+		f.deliverNow(nic, obj.(*Packet))
+	}
 }
 
 // channelFor returns the directed channel leaving `from` over link `link`.
@@ -381,16 +426,17 @@ func (f *Fabric) deliverToHost(pkt *Packet, host topology.NodeID) {
 	if pkt.Group != NoGroup && !nic.groups[pkt.Group] {
 		return // on the tree for forwarding reasons but not attached
 	}
-	deliver := func() {
-		nic.Received++
-		if nic.Deliver != nil {
-			nic.Deliver(pkt)
-		}
-	}
 	if j := f.cfg.ReorderJitter; j > 0 {
-		f.eng.After(sim.Time(f.rng.Intn(int(j))), deliver)
-	} else {
-		deliver()
+		f.eng.AfterHandler(sim.Time(f.rng.Intn(int(j))), f.deliverH, uint64(host), 0, pkt)
+		return
+	}
+	f.deliverNow(nic, pkt)
+}
+
+func (f *Fabric) deliverNow(nic *NIC, pkt *Packet) {
+	nic.Received++
+	if nic.Deliver != nil {
+		nic.Deliver(pkt)
 	}
 }
 
@@ -434,6 +480,7 @@ func (f *Fabric) SetBandwidthScale(id ChannelID, scale float64) {
 		panic(fmt.Sprintf("fabric: bandwidth scale %v must be positive (use SetDropRate(id, 1) for an outage)", scale))
 	}
 	ch := &f.chans[id]
+	ch.serSize = -1 // invalidate the memoized serialization time
 	if scale == 1 {
 		ch.bw = ch.baseBw
 		return
@@ -476,6 +523,7 @@ func (f *Fabric) SetDropRate(id ChannelID, rate float64) {
 func (f *Fabric) ClearOverrides(id ChannelID) {
 	ch := &f.chans[id]
 	ch.bw = ch.baseBw
+	ch.serSize = -1
 	ch.extraLat = 0
 	ch.dropOverride = -1
 }

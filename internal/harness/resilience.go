@@ -105,7 +105,7 @@ func ResilienceKernel(s sweep.Spec) (sweep.Record, error) {
 		rnrDrops += float64(rs.RNRDrops)
 	}
 	st := act.Stats()
-	return sweep.Record{Spec: s, Result: res, Metrics: map[string]float64{
+	rec := sweep.Record{Spec: s, Result: res, Metrics: map[string]float64{
 		"duration_us": res.Duration().Micros(),
 		"gibps":       res.AlgBandwidth() / (1 << 30),
 		"drops":       float64(f.TotalDropped),
@@ -115,7 +115,9 @@ func ResilienceKernel(s sweep.Spec) (sweep.Record, error) {
 		"perturbs":    float64(st.Perturbs),
 		"restores":    float64(st.Restores),
 		"bg_mbytes":   float64(st.BackgroundBytes) / 1e6,
-	}}, nil
+	}}
+	addEngineMetrics(&rec, eng)
+	return rec, nil
 }
 
 // AnnotateSlowdown adds the slowdown_vs_quiet metric to every record that

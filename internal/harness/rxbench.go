@@ -59,6 +59,10 @@ type RxBenchResult struct {
 	LinkGbps  float64
 	LinkShare float64 // fraction of the link's payload rate sustained
 	RNRDrops  uint64
+	// Engine throughput counters for the run (deterministic counts).
+	Events          uint64
+	EventsScheduled uint64
+	EventsRecycled  uint64
 }
 
 // RunRxBench executes the microbenchmark and returns the measured result.
@@ -171,13 +175,16 @@ func RunRxBench(cfg RxBenchConfig) RxBenchResult {
 	eng.Run()
 
 	res := RxBenchResult{
-		Config:    cfg,
-		Elapsed:   lastDone,
-		Chunks:    processed,
-		Profile:   profile,
-		EffCycles: threads[0].EffectiveLatencyCycles(profile),
-		IPC:       profile.IPC(),
-		RNRDrops:  server.RNRDrops,
+		Config:          cfg,
+		Elapsed:         lastDone,
+		Chunks:          processed,
+		Profile:         profile,
+		EffCycles:       threads[0].EffectiveLatencyCycles(profile),
+		IPC:             profile.IPC(),
+		RNRDrops:        server.RNRDrops,
+		Events:          eng.Executed,
+		EventsScheduled: eng.Scheduled,
+		EventsRecycled:  eng.Recycled,
 	}
 	if processed != chunks {
 		panic(fmt.Sprintf("harness: processed %d of %d chunks (RNR drops: %d)", processed, chunks, server.RNRDrops))

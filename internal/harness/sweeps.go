@@ -51,6 +51,23 @@ func rxConfig(s sweep.Spec) (RxBenchConfig, error) {
 	return cfg, nil
 }
 
+// addEngineMetrics surfaces the engine's throughput counters on a Record.
+// All three are deterministic event counts (never wall-clock rates), so
+// the byte-identical-JSON contract of the sweep engine is preserved; the
+// wall-clock events/sec trajectory lives in the Benchmark* suite and
+// BENCH_perf.json instead.
+func addEngineMetrics(rec *sweep.Record, eng *sim.Engine) {
+	addEngineCounts(rec, eng.Executed, eng.Scheduled, eng.Recycled)
+}
+
+// addEngineCounts is the counter-carrying variant for kernels whose engine
+// is not in scope (rxbench snapshots the counters into its result).
+func addEngineCounts(rec *sweep.Record, executed, scheduled, recycled uint64) {
+	rec.Metrics["sim_events"] = float64(executed)
+	rec.Metrics["sim_scheduled"] = float64(scheduled)
+	rec.Metrics["sim_recycled"] = float64(recycled)
+}
+
 // RxKernel is the sweep kernel for the receive-datapath microbenchmark
 // (Figures 5, 13–16 and Table I).
 func RxKernel(s sweep.Spec) (sweep.Record, error) {
@@ -59,7 +76,7 @@ func RxKernel(s sweep.Spec) (sweep.Record, error) {
 		return sweep.Record{}, err
 	}
 	r := RunRxBench(cfg)
-	return sweep.Record{Spec: s, Metrics: map[string]float64{
+	rec := sweep.Record{Spec: s, Metrics: map[string]float64{
 		"gibps":      r.GiBps,
 		"gbps":       r.Gbps,
 		"chunk_rate": r.ChunkRate,
@@ -68,7 +85,9 @@ func RxKernel(s sweep.Spec) (sweep.Record, error) {
 		"ipc":        r.IPC,
 		"instr_cqe":  float64(r.Profile.IssueCycles),
 		"cycles_cqe": float64(r.Profile.LatencyCycles),
-	}}, nil
+	}}
+	addEngineCounts(&rec, r.Events, r.EventsScheduled, r.EventsRecycled)
+	return rec, nil
 }
 
 // --- collective kernel -----------------------------------------------------------
@@ -119,7 +138,7 @@ func collPoint(s sweep.Spec) (sweep.Spec, *fabric.Fabric, collective.Algorithm, 
 // (with the per-rank critical-path extension where the protocol provides
 // it). The optional ChunkSize axis tunes the P2P baselines.
 func CollKernel(s sweep.Spec) (sweep.Record, error) {
-	s, _, alg, err := collPoint(s)
+	s, f, alg, err := collPoint(s)
 	if err != nil {
 		return sweep.Record{}, err
 	}
@@ -131,6 +150,7 @@ func CollKernel(s sweep.Spec) (sweep.Record, error) {
 		"gibps":       res.AlgBandwidth() / (1 << 30),
 		"duration_us": res.Duration().Micros(),
 	}}
+	addEngineMetrics(&rec, f.Engine())
 	if len(res.PerRank) > 0 {
 		var bar, mc, fin, tot []float64
 		for _, rs := range res.PerRank {
@@ -472,13 +492,15 @@ func OSUKernel(cfg OSUConfig) sweep.Func {
 		sum := stats.Summarize(lat)
 		// Bandwidth numerator is the per-rank network receive payload, the
 		// same semantic AlgBandwidth and Figure 11 use.
-		return sweep.Record{Spec: s, Result: last, Metrics: map[string]float64{
+		rec := sweep.Record{Spec: s, Result: last, Metrics: map[string]float64{
 			"median_us":    sum.Median,
 			"ci95_low_us":  sum.CILow,
 			"ci95_high_us": sum.CIHigh,
 			"min_us":       sum.Min,
 			"max_us":       sum.Max,
 			"gibps":        last.RecvPerRank() / (sum.Median / 1e6) / (1 << 30),
-		}}, nil
+		}}
+		addEngineMetrics(&rec, eng)
+		return rec, nil
 	}
 }

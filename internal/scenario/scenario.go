@@ -69,20 +69,16 @@ func (c *Context) Hosts() []topology.NodeID {
 // After schedules fn d nanoseconds from now. The event is tracked by the
 // Active handle: once Stop is called, pending events are cancelled and new
 // ones are not scheduled, so the engine can run dry after the workload
-// completes even for injectors that re-arm forever.
+// completes even for injectors that re-arm forever. Scheduling goes through
+// the engine's pooled handler path — per-packet injectors (the tenant
+// flows) re-arm without allocating an event or a wrapper closure, since fn
+// itself is a long-lived closure built once per flow.
 func (c *Context) After(d sim.Time, fn func()) {
 	if c.act.stopped {
 		return
 	}
-	var ev *sim.Event
-	ev = c.Eng.After(d, func() {
-		delete(c.act.pending, ev)
-		if c.act.stopped {
-			return
-		}
-		fn()
-	})
-	c.act.pending[ev] = struct{}{}
+	h := c.Eng.AfterHandler(d, c.act, 0, 0, fn)
+	c.act.pending[h] = struct{}{}
 }
 
 // Perturbed counts one perturbation application (a flap onset, a
@@ -107,21 +103,34 @@ type Stats struct {
 type Active struct {
 	f       *fabric.Fabric
 	stopped bool
-	pending map[*sim.Event]struct{}
+	pending map[sim.Handle]struct{}
 	stats   Stats
+}
+
+// OnEvent fires one tracked injector event: ev keys the pending set (the
+// engine hands back exactly the Handle AfterHandler returned), obj is the
+// injector's callback.
+func (a *Active) OnEvent(_ *sim.Engine, ev sim.Handle, _ uint64, _ int, obj any) {
+	delete(a.pending, ev)
+	if a.stopped {
+		return
+	}
+	obj.(func())()
 }
 
 // Stop cancels every pending perturbation event and prevents re-arming, so
 // the engine drains once the measured workload is done. Overrides applied
 // to the fabric are left in place (the simulation is over); use a fresh
 // fabric per measurement, as every kernel in this repository does.
+// Cancellation is generation-checked, so a handle whose event has already
+// fired (and been recycled by the engine's pool) is skipped, not corrupted.
 func (a *Active) Stop() {
 	if a.stopped {
 		return
 	}
 	a.stopped = true
-	for ev := range a.pending {
-		ev.Cancel()
+	for h := range a.pending {
+		h.Cancel()
 	}
 	a.pending = nil
 }
@@ -150,7 +159,7 @@ func (sc Scenario) Install(f *fabric.Fabric, seed uint64) *Active {
 // every host. Use it when the measured workload runs on a subset of a
 // larger topology, or the perturbations mostly land on idle hardware.
 func (sc Scenario) InstallOn(f *fabric.Fabric, hosts []topology.NodeID, seed uint64) *Active {
-	act := &Active{f: f, pending: make(map[*sim.Event]struct{})}
+	act := &Active{f: f, pending: make(map[sim.Handle]struct{})}
 	for i, inj := range sc.Injectors {
 		rng := sim.NewRNG(sim.Splitmix64(seed ^ sim.Splitmix64(uint64(i)+0x5ce7a110)))
 		inj.Install(&Context{Eng: f.Engine(), F: f, RNG: rng, hosts: hosts, act: act})

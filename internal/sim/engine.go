@@ -9,12 +9,38 @@
 // schedule, same results, bit for bit) is worth far more to a reproduction
 // study than intra-simulation parallelism. Benchmarks that need wall-clock
 // parallelism run many independent Engine instances concurrently.
+//
+// # Scheduler
+//
+// Events are ordered by (time, insertion sequence): ties fire FIFO with
+// respect to scheduling order, and that order is the determinism contract
+// every golden value in this repository depends on. Internally the queue is
+// a hybrid: a bucketed near-future calendar ("ladder") covering a sliding
+// window ahead of the clock, backed by a binary heap for far-future events
+// (retransmission timers, cutoff timers, scenario schedules). Insertion
+// into the window is O(1); each bucket is sorted once when the clock
+// reaches it. The pop order is exactly the (at, seq) order a single binary
+// heap would produce — engine_test.go checks this against a reference heap
+// over randomized schedules.
+//
+// # Closure-free scheduling
+//
+// At/After take a func() and allocate one Event plus (at most call sites)
+// one capturing closure per event. The hot paths — every packet hop, every
+// signaled send, every per-round collective timer — instead use AtHandler/
+// AfterHandler: a typed Handler interface plus packed arguments (a uint64,
+// an int, and one pointer-shaped payload), no closure. Handler events are
+// recycled through a free list once fired or cancelled, so steady-state
+// hot-path scheduling does not allocate at all. Cancellation of handler
+// events goes through the value-type Handle, which carries a generation
+// number so a stale handle held across the event's recycling is a no-op.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
 	"math"
+	"slices"
 	"time"
 )
 
@@ -45,37 +71,136 @@ func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
 func (t Time) String() string { return t.Duration().String() }
 
+// Calendar-queue geometry: 256 buckets of 512 ns cover a 128 µs window
+// ahead of the clock. Packet-scale events (serialization ~170 ns, hop
+// latency 250 ns) land a few buckets out; RC retransmission timeouts
+// (200 µs+) and scenario schedules overflow to the far-future heap.
+const (
+	bucketShift = 9 // log2(bucket width in ns)
+	bucketWidth = Time(1) << bucketShift
+	numBuckets  = 256
+	windowSpan  = Time(numBuckets) << bucketShift
+)
+
+// Event locations within the hybrid queue.
+const (
+	locNone   int8 = iota // not queued (fired, cancelled-and-removed, or free)
+	locBucket             // in a (possibly unsorted) calendar bucket
+	locCur                // in the open bucket's insertion heap
+	locFar                // in the far-future binary heap
+)
+
+// Handler is the closure-free event callback: one OnEvent call per fired
+// event, with the arguments packed at scheduling time. ev identifies the
+// firing event (it equals the Handle returned by AtHandler, letting a
+// handler that tracks its pending events find the entry without a wrapper
+// closure); obj carries one pointer-shaped payload (a *Packet, a *QP — a
+// pointer, so boxing it does not allocate) and may be nil.
+//
+// Handler events are pooled: the engine recycles the Event before OnEvent
+// runs, so implementations must not retain ev past the call.
+type Handler interface {
+	OnEvent(e *Engine, ev Handle, arg0 uint64, arg1 int, obj any)
+}
+
 // Event is a scheduled callback. Events are ordered by time; ties are broken
 // by insertion sequence so the execution order of simultaneous events is
 // deterministic and FIFO with respect to scheduling order.
 type Event struct {
-	at       Time
-	seq      uint64
-	index    int // heap index; -1 once popped or cancelled
+	at    Time
+	seq   uint64
+	gen   uint64 // bumped each time a pooled event is recycled
+	index int    // heap index while in far/cur heaps; -1 otherwise
+	where int8
+	// pooled marks events born on the handler path: no *Event pointer ever
+	// escapes for them, so they are safe to recycle. Closure events hand
+	// their pointer to the caller (for Cancel/Canceled/Fired) and are never
+	// reused.
+	pooled   bool
+	canceled bool
+	fired    bool
 	eng      *Engine
 	fn       func()
-	canceled bool
+	h        Handler
+	arg0     uint64
+	arg1     int
+	obj      any
 }
 
 // Time returns the virtual time at which the event fires.
 func (e *Event) Time() Time { return e.at }
 
-// Cancel prevents a pending event from firing and removes it from the
-// engine's queue immediately, so long-lived timers (cutoff, retransmit)
-// that are cancelled and re-armed do not accumulate as dead heap entries
-// until their original firing time. Cancelling an event that has already
-// fired (or was already cancelled) is a no-op.
+// Cancel prevents a pending event from firing. The event leaves the live
+// count immediately and its callback is released at once (so a cancelled
+// long-lived timer does not pin its closure); far-future events are also
+// removed from the heap immediately, while near-future bucket entries are
+// reclaimed when the clock reaches their bucket. Cancelling an event that
+// has already fired (or was already cancelled) is a no-op.
 func (e *Event) Cancel() {
+	if e == nil || e.canceled || e.fired || e.where == locNone {
+		return
+	}
 	e.canceled = true
-	if e.index >= 0 && e.eng != nil {
-		heap.Remove(&e.eng.queue, e.index)
-		e.fn = nil // release the closure
+	e.fn = nil
+	e.h = nil
+	e.obj = nil
+	eng := e.eng
+	eng.live--
+	switch e.where {
+	case locFar:
+		heap.Remove(&eng.far, e.index)
+		e.where = locNone
+		eng.release(e)
+	case locCur:
+		heap.Remove(&eng.cur, e.index)
+		eng.nearCount--
+		e.where = locNone
+		eng.release(e)
+	case locBucket:
+		// Left in place; the bucket sweep recycles it.
 	}
 }
 
 // Canceled reports whether Cancel was called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
 
+// Fired reports whether the event's callback has run.
+func (e *Event) Fired() bool { return e.fired }
+
+// Handle is a value-type reference to a scheduled handler event. The zero
+// Handle is inert. Because handler events are recycled, the handle carries
+// the generation it was issued under: cancelling a handle whose event has
+// since fired and been reused is a safe no-op, which is exactly the
+// semantics a retransmission timer racing its own ack needs.
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
+
+// Cancel cancels the referenced event if it is still the same incarnation
+// and still pending; otherwise it does nothing.
+func (h Handle) Cancel() {
+	if h.ev != nil && h.ev.gen == h.gen {
+		h.ev.Cancel()
+	}
+}
+
+// Active reports whether the referenced event is still pending.
+func (h Handle) Active() bool {
+	return h.ev != nil && h.ev.gen == h.gen && !h.ev.canceled && !h.ev.fired
+}
+
+// Time returns the firing time of the referenced event, or -1 if the handle
+// is stale (fired, cancelled and recycled, or zero).
+func (h Handle) Time() Time {
+	if h.ev == nil || h.ev.gen != h.gen {
+		return -1
+	}
+	return h.ev.at
+}
+
+// eventHeap orders events by (at, seq); used for the far-future overflow
+// and for insertions into the already-open bucket.
 type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -105,18 +230,51 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// before reports whether a fires before b under the engine's total order.
+func before(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
 // Engine is a discrete-event simulator instance. The zero value is not
 // usable; construct with NewEngine.
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
 	rng     *RNG
 	stopped bool
 
+	// Near-future calendar: buckets of bucketWidth ns covering
+	// [base, base+windowSpan). cursor is the bucket being (or next to be)
+	// consumed; when opened, buckets[cursor][pos:] is the sorted remainder
+	// and cur holds events inserted into the open bucket after sorting.
+	base      Time
+	cursor    int
+	opened    bool
+	pos       int
+	buckets   [numBuckets][]*Event
+	cur       eventHeap
+	nearCount int // events physically held in buckets + cur (incl. cancelled)
+
+	// Far-future overflow: everything at or beyond base+windowSpan.
+	far eventHeap
+
+	live int // scheduled, not yet fired, not cancelled
+
+	free []*Event // recycled handler events
+
+	// Throughput counters, exported so harnesses can surface engine
+	// throughput in their Records (all three are deterministic counts).
+	//
 	// Executed counts events that have fired, for diagnostics and for
-	// guarding against runaway simulations in tests.
-	Executed uint64
+	// guarding against runaway simulations in tests. Scheduled counts every
+	// At/After/AtHandler/AfterHandler call. Recycled counts handler events
+	// served from the free list instead of the heap allocator.
+	Executed  uint64
+	Scheduled uint64
+	Recycled  uint64
 }
 
 // NewEngine returns an engine with virtual time 0 and a deterministic RNG
@@ -134,13 +292,17 @@ func (e *Engine) RNG() *RNG { return e.rng }
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: that is always a protocol-logic bug, and silently clamping would
 // mask it.
+//
+// The returned *Event stays valid for Cancel/Canceled/Fired indefinitely
+// (closure events are never recycled); hot paths that do not need to hold
+// the event should prefer AtHandler, which pools.
 func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, eng: e, fn: fn}
+	ev := &Event{at: t, seq: e.seq, eng: e, fn: fn, index: -1}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.schedule(ev)
 	return ev
 }
 
@@ -152,9 +314,259 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
-// Pending returns the number of events still queued. Cancelled events are
-// removed from the queue at Cancel time and do not count.
-func (e *Engine) Pending() int { return len(e.queue) }
+// AtHandler schedules h.OnEvent(e, handle, arg0, arg1, obj) at absolute
+// virtual time t. The event is drawn from the engine's free list and
+// recycled after firing or cancellation, and no closure is involved: the
+// closure-free hot path. obj must be pointer-shaped (or nil) to stay
+// allocation-free.
+func (e *Engine) AtHandler(t Time, h Handler, arg0 uint64, arg1 int, obj any) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := e.get()
+	ev.at = t
+	ev.seq = e.seq
+	e.seq++
+	ev.h = h
+	ev.arg0 = arg0
+	ev.arg1 = arg1
+	ev.obj = obj
+	e.schedule(ev)
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// AfterHandler schedules h.OnEvent d nanoseconds from now; see AtHandler.
+func (e *Engine) AfterHandler(d Time, h Handler, arg0 uint64, arg1 int, obj any) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.AtHandler(e.now+d, h, arg0, arg1, obj)
+}
+
+// get pops a recycled event or allocates a fresh pooled one.
+func (e *Engine) get() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		e.Recycled++
+		return ev
+	}
+	return &Event{eng: e, pooled: true, index: -1}
+}
+
+// release returns a pooled event to the free list, bumping its generation
+// so outstanding Handles go stale. Closure events only drop their callback:
+// their *Event may still be held by the caller, so flags (and the pointer
+// identity) must survive.
+func (e *Engine) release(ev *Event) {
+	if !ev.pooled {
+		ev.fn = nil
+		return
+	}
+	ev.gen++
+	ev.fn = nil
+	ev.h = nil
+	ev.obj = nil
+	ev.arg0, ev.arg1 = 0, 0
+	ev.canceled, ev.fired = false, false
+	ev.where = locNone
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
+// schedule files the event into the hybrid queue.
+func (e *Engine) schedule(ev *Event) {
+	e.Scheduled++
+	e.live++
+	delta := ev.at - e.base
+	if delta < 0 {
+		// The window was jumped ahead of the clock (RunUntil past a queue
+		// gap, then a schedule before the far-future frontier). Rebase the
+		// whole calendar onto this event's time; rare, O(near events).
+		e.rebase(ev.at)
+		delta = 0
+	}
+	if delta < windowSpan {
+		idx := int(delta >> bucketShift)
+		if idx == e.cursor && e.opened {
+			ev.where = locCur
+			heap.Push(&e.cur, ev)
+			e.nearCount++
+			return
+		}
+		if idx < e.cursor {
+			// An earlier-in-window insertion (possible after RunUntil
+			// advanced the clock past empty buckets): step the cursor back.
+			e.closeOpen()
+			e.cursor = idx
+		}
+		ev.where = locBucket
+		e.buckets[idx] = append(e.buckets[idx], ev)
+		e.nearCount++
+		return
+	}
+	ev.where = locFar
+	heap.Push(&e.far, ev)
+}
+
+// closeOpen folds an open bucket back into unsorted state: the unconsumed
+// sorted remainder and any open-bucket insertions are merged back into the
+// bucket slice so a later openBucket re-sorts the union.
+func (e *Engine) closeOpen() {
+	if !e.opened {
+		return
+	}
+	b := e.buckets[e.cursor]
+	n := copy(b, b[e.pos:])
+	for i := n; i < len(b); i++ {
+		b[i] = nil
+	}
+	b = b[:n]
+	for len(e.cur) > 0 {
+		ev := heap.Pop(&e.cur).(*Event)
+		ev.where = locBucket
+		b = append(b, ev)
+	}
+	e.buckets[e.cursor] = b
+	e.pos = 0
+	e.opened = false
+}
+
+// rebase moves every near-future event to the far heap and restarts the
+// window at t. Only schedule() calls it, for times below the current base.
+func (e *Engine) rebase(t Time) {
+	e.closeOpen()
+	for i := range e.buckets {
+		for _, ev := range e.buckets[i] {
+			ev.where = locFar
+			heap.Push(&e.far, ev)
+		}
+		e.buckets[i] = e.buckets[i][:0]
+	}
+	e.nearCount = 0
+	e.base = t
+	e.cursor = 0
+	e.refill()
+}
+
+// refill drains far-future events that now fall inside the window into
+// their buckets. Callers reset cursor before refilling.
+func (e *Engine) refill() {
+	for len(e.far) > 0 && e.far[0].at-e.base < windowSpan {
+		ev := heap.Pop(&e.far).(*Event)
+		ev.where = locBucket
+		idx := int((ev.at - e.base) >> bucketShift)
+		e.buckets[idx] = append(e.buckets[idx], ev)
+		e.nearCount++
+	}
+}
+
+// openBucket sorts the cursor's bucket by (at, seq) and starts consuming it.
+// slices.SortFunc rather than sort.Slice: no reflection, no per-call
+// allocation, and (at, seq) keys are unique so instability cannot matter.
+func (e *Engine) openBucket() {
+	slices.SortFunc(e.buckets[e.cursor], func(a, b *Event) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		}
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	})
+	e.pos = 0
+	e.opened = true
+}
+
+// advance moves the cursor to the next non-empty bucket, wrapping the
+// window (and refilling from the far heap) as needed. Precondition: the
+// current bucket is closed and at least one event is queued somewhere.
+func (e *Engine) advance() {
+	if e.nearCount == 0 {
+		// Nothing inside the window: jump it to the far-future frontier
+		// instead of sliding one span at a time toward a distant timer.
+		e.base = e.far[0].at
+		e.cursor = 0
+		e.refill()
+	}
+	for len(e.buckets[e.cursor]) == 0 {
+		e.cursor++
+		if e.cursor == numBuckets {
+			e.base += windowSpan
+			e.cursor = 0
+			e.refill()
+		}
+	}
+	e.openBucket()
+}
+
+// peekEvent returns the next live event without consuming it (nil when the
+// queue is empty), pruning cancelled bucket entries as it goes.
+func (e *Engine) peekEvent() *Event {
+	for {
+		if !e.opened {
+			if e.nearCount == 0 && len(e.far) == 0 {
+				return nil
+			}
+			e.advance()
+		}
+		b := e.buckets[e.cursor]
+		for e.pos < len(b) && b[e.pos].canceled {
+			ev := b[e.pos]
+			b[e.pos] = nil
+			e.pos++
+			e.nearCount--
+			ev.where = locNone
+			e.release(ev)
+		}
+		// No cancelled-entry sweep for e.cur: Cancel heap.Removes open-bucket
+		// entries eagerly, so its root is always live.
+		var next *Event
+		if e.pos < len(b) {
+			next = b[e.pos]
+		}
+		if len(e.cur) > 0 && (next == nil || before(e.cur[0], next)) {
+			next = e.cur[0]
+		}
+		if next != nil {
+			return next
+		}
+		// Open bucket exhausted: recycle its slice; the next iteration's
+		// advance() finds the following non-empty bucket.
+		e.buckets[e.cursor] = b[:0]
+		e.pos = 0
+		e.opened = false
+	}
+}
+
+// popEvent consumes and returns the next live event, or nil.
+func (e *Engine) popEvent() *Event {
+	ev := e.peekEvent()
+	if ev == nil {
+		return nil
+	}
+	if ev.where == locCur {
+		heap.Pop(&e.cur)
+	} else {
+		e.buckets[e.cursor][e.pos] = nil
+		e.pos++
+	}
+	e.nearCount--
+	ev.where = locNone
+	return ev
+}
+
+// Pending returns the number of events still queued. Cancelled events leave
+// the count at Cancel time.
+func (e *Engine) Pending() int { return e.live }
+
+// PoolSize returns the number of events currently parked on the free list
+// (diagnostics for allocation tests).
+func (e *Engine) PoolSize() int { return len(e.free) }
 
 // Stop makes the current Run/RunUntil call return after the in-flight event
 // completes.
@@ -162,20 +574,32 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // step fires the next event. It returns false when the queue is empty.
 func (e *Engine) step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
-		if ev.at < e.now {
-			panic("sim: event queue time went backwards")
-		}
-		e.now = ev.at
-		e.Executed++
-		ev.fn()
+	ev := e.popEvent()
+	if ev == nil {
+		return false
+	}
+	if ev.at < e.now {
+		panic("sim: event queue time went backwards")
+	}
+	e.now = ev.at
+	e.Executed++
+	e.live--
+	ev.fired = true
+	if ev.fn != nil {
+		fn := ev.fn
+		// Release the closure before running it: a caller holding the
+		// *Event for Cancel must not pin the capture past the firing.
+		ev.fn = nil
+		fn()
 		return true
 	}
-	return false
+	h, a0, a1, obj := ev.h, ev.arg0, ev.arg1, ev.obj
+	hd := Handle{ev: ev, gen: ev.gen}
+	// Recycle before dispatch so the handler's own scheduling reuses this
+	// very event; hd stays distinguishable through its generation.
+	e.release(ev)
+	h.OnEvent(e, hd, a0, a1, obj)
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called. It returns
@@ -194,11 +618,8 @@ func (e *Engine) Run() Time {
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 {
-			break
-		}
-		// Peek: the heap root is the earliest event.
-		if e.queue[0].at > deadline {
+		next := e.peekEvent()
+		if next == nil || next.at > deadline {
 			break
 		}
 		e.step()

@@ -37,14 +37,18 @@ func (d *DMAEngine) Enqueue(n int, done func()) sim.Time {
 	}
 	d.nextFree = start + sim.Time(float64(n)/d.bw*1e9)
 	completion := d.nextFree + d.latency
-	d.eng.At(completion, func() {
-		d.Copies++
-		d.BytesCopied += uint64(n)
-		if done != nil {
-			done()
-		}
-	})
+	d.eng.AtHandler(completion, d, 0, n, done)
 	return completion
+}
+
+// OnEvent completes one staged copy; arg1 is the byte count, obj the
+// caller's optional done callback.
+func (d *DMAEngine) OnEvent(_ *sim.Engine, _ sim.Handle, _ uint64, arg1 int, obj any) {
+	d.Copies++
+	d.BytesCopied += uint64(arg1)
+	if done, ok := obj.(func()); ok && done != nil {
+		done()
+	}
 }
 
 // Quiesced returns the earliest time at which all currently queued copies

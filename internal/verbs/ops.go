@@ -37,10 +37,19 @@ func (qp *QP) PostSendUD(wrID uint64, dst Addr, mr *MR, offset, length int, imm 
 		// The send completion is reported once the datagram has left the
 		// NIC (wire serialization done) — this is what paces batched send
 		// workers against the link.
-		qp.ctx.eng.At(wire, func() {
-			qp.sendCQ.Push(CQE{Op: OpSend, QPN: qp.N, WrID: wrID, Bytes: length})
-		})
+		qp.ctx.eng.AtHandler(wire, qp, wrID, length, nil)
 	}
+}
+
+// OnEvent is the QP's closure-free event dispatch: with a *rcPending
+// payload it is the retransmission timer firing; otherwise it is a signaled
+// send completing its wire serialization (arg0 = WrID, arg1 = bytes).
+func (qp *QP) OnEvent(_ *sim.Engine, _ sim.Handle, arg0 uint64, arg1 int, obj any) {
+	if p, ok := obj.(*rcPending); ok {
+		qp.retransmit(p)
+		return
+	}
+	qp.sendCQ.Push(CQE{Op: OpSend, QPN: qp.N, WrID: arg0, Bytes: arg1})
 }
 
 // PostSendReduce transmits one contribution datagram into an in-network
@@ -74,9 +83,7 @@ func (qp *QP) PostSendReduce(wrID uint64, dst Addr, rg fabric.ReduceGroupID, chu
 	}
 	wire := qp.ctx.nic.Inject(pkt)
 	if signaled {
-		qp.ctx.eng.At(wire, func() {
-			qp.sendCQ.Push(CQE{Op: OpSend, QPN: qp.N, WrID: wrID, Bytes: length})
-		})
+		qp.ctx.eng.AtHandler(wire, qp, wrID, length, nil)
 	}
 }
 
@@ -178,9 +185,7 @@ func (qp *QP) segmentAndSendSignaled(msgID uint64, op wireOp, dst Addr, wrID uin
 		if s == nsegs-1 {
 			lastWire = wire
 			if op == wireWrite && qp.Transport == UC && signaled {
-				ctx.eng.At(wire, func() {
-					qp.sendCQ.Push(CQE{Op: OpSend, QPN: qp.N, WrID: wrID, Bytes: length})
-				})
+				ctx.eng.AtHandler(wire, qp, wrID, length, nil)
 			}
 		}
 	}
@@ -269,7 +274,11 @@ type rcPending struct {
 	imm      uint32
 	signaled bool
 	retries  int
-	timer    *sim.Event
+	// timer is the armed retransmission timeout. A Handle (not a *Event):
+	// timer events are pooled, and the generation check makes cancelling a
+	// timer that already fired — an ack racing its own retransmission — a
+	// guaranteed no-op even after the event's recycling.
+	timer sim.Handle
 	// read bookkeeping (requester side)
 	isRead   bool
 	readDst  *MR
@@ -355,7 +364,7 @@ func (qp *QP) armRetransmit(p *rcPending, wire sim.Time) {
 	if now := ctx.eng.Now(); deadline < now {
 		deadline = now + rto
 	}
-	p.timer = ctx.eng.At(deadline, func() { qp.retransmit(p) })
+	p.timer = ctx.eng.AtHandler(deadline, qp, 0, 0, p)
 }
 
 func (qp *QP) retransmit(p *rcPending) {
@@ -384,9 +393,7 @@ func (qp *QP) receiveAck(m *wireMsg) {
 		return // duplicate ack after retransmission
 	}
 	delete(qp.pending, m.msgID)
-	if p.timer != nil {
-		p.timer.Cancel()
-	}
+	p.timer.Cancel()
 	if p.signaled && !p.isRead {
 		qp.sendCQ.Push(CQE{Op: OpSend, QPN: qp.N, WrID: p.wrID, Bytes: p.length})
 	}
@@ -468,9 +475,7 @@ func (qp *QP) receiveReadResp(m *wireMsg) {
 	p.readDst.write(p.readOff+m.roffset, m.data, m.dataLen)
 	if len(p.readGot) == m.nsegs {
 		delete(qp.pending, m.msgID)
-		if p.timer != nil {
-			p.timer.Cancel()
-		}
+		p.timer.Cancel()
 		qp.sendCQ.Push(CQE{Op: OpRead, QPN: qp.N, WrID: p.wrID, Bytes: p.readRecv})
 	}
 }

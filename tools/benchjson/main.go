@@ -1,0 +1,161 @@
+// Command benchjson converts `go test -bench -benchmem` output into the
+// repository's structured sweep-report JSON (the BENCH_*.json trajectory
+// format) and optionally gates chosen metrics against a committed baseline.
+//
+// CI runs the engine/fabric/collective perf benchmarks, pipes the text
+// through benchjson to produce BENCH_perf.json, and fails the job when
+// allocs/op regresses more than the tolerance over PERF_BASELINE.json.
+// Only machine-independent metrics (allocation counts, simulated events
+// per op) are suitable for gating; wall-clock metrics (ns/op, events/sec)
+// are recorded for the trajectory but vary across runners.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | \
+//	  benchjson -out BENCH_perf.json -baseline PERF_BASELINE.json \
+//	            -metric allocs_per_op -tol 0.20
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/sweep"
+)
+
+func main() {
+	in := flag.String("in", "", "benchmark output to read (default stdin)")
+	out := flag.String("out", "", "write the parsed report as JSON to this path")
+	name := flag.String("name", "perf", "report name")
+	baseline := flag.String("baseline", "", "baseline report to gate against")
+	metrics := flag.String("metric", "allocs_per_op", "comma-separated metrics to gate")
+	tol := flag.Float64("tol", 0.20, "relative regression tolerance for gated metrics")
+	slack := flag.Float64("slack", 1, "absolute slack added on top of the relative tolerance (absorbs benchmem rounding)")
+	flag.Parse()
+	defer cli.StartCPUProfile()()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			cli.Fatalf(2, "benchjson: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	recs, err := parse(r)
+	if err != nil {
+		cli.Fatalf(1, "benchjson: %v", err)
+	}
+	if len(recs) == 0 {
+		cli.Fatalf(1, "benchjson: no benchmark lines found")
+	}
+	rep := sweep.Report{Name: *name, Records: recs}
+	if err := sweep.WriteFiles(rep, *out, ""); err != nil {
+		cli.Fatalf(1, "benchjson: %v", err)
+	}
+	if err := sweep.WriteTable(os.Stdout, recs); err != nil {
+		cli.Fatalf(1, "benchjson: %v", err)
+	}
+	if *baseline == "" {
+		return
+	}
+	base, err := sweep.LoadFile(*baseline)
+	if err != nil {
+		cli.Fatalf(1, "benchjson: %v", err)
+	}
+	if failed := gate(base, rep, strings.Split(*metrics, ","), *tol, *slack); failed {
+		os.Exit(1)
+	}
+}
+
+// parse extracts one Record per benchmark result line. A line looks like
+//
+//	BenchmarkFabricHop-8   30   231272 ns/op   8855383 hops/sec   109194 B/op   1099 allocs/op
+//
+// i.e. name, iteration count, then (value, unit) pairs — including any
+// custom b.ReportMetric units.
+func parse(r io.Reader) ([]sweep.Record, error) {
+	var recs []sweep.Record
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+		m := map[string]float64{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+			}
+			m[metricName(fields[i+1])] = v
+		}
+		recs = append(recs, sweep.Record{
+			Spec:    sweep.Spec{Algorithm: name, Index: len(recs)},
+			Metrics: m,
+		})
+	}
+	return recs, sc.Err()
+}
+
+// metricName normalizes a go-bench unit into a metric identifier:
+// "allocs/op" -> allocs_per_op, "events/sec" -> events_per_sec.
+func metricName(unit string) string {
+	unit = strings.ReplaceAll(unit, "/", "_per_")
+	unit = strings.ReplaceAll(unit, "-", "_")
+	return strings.ToLower(unit)
+}
+
+// gate compares the chosen metrics benchmark-by-benchmark (matched on
+// name) and reports every regression beyond base*(1+tol)+slack. A
+// benchmark present in the baseline but missing from the current run also
+// fails: silently dropping a gated benchmark must not pass CI.
+func gate(base, cur sweep.Report, metrics []string, tol, slack float64) (failed bool) {
+	curByName := map[string]sweep.Record{}
+	for _, r := range cur.Records {
+		curByName[r.Spec.Algorithm] = r
+	}
+	for _, b := range base.Records {
+		c, ok := curByName[b.Spec.Algorithm]
+		if !ok {
+			fmt.Printf("GATE FAIL %s: benchmark missing from current run\n", b.Spec.Algorithm)
+			failed = true
+			continue
+		}
+		for _, m := range metrics {
+			m = strings.TrimSpace(m)
+			bv, okB := b.Metrics[m]
+			cv, okC := c.Metrics[m]
+			if !okB {
+				continue // this benchmark never had the metric; nothing to gate
+			}
+			if !okC {
+				// The baseline gates this metric but the current run stopped
+				// emitting it — losing a gate must not pass silently.
+				fmt.Printf("GATE FAIL %s %s: metric missing from current run\n", b.Spec.Algorithm, m)
+				failed = true
+				continue
+			}
+			if limit := bv*(1+tol) + slack; cv > limit {
+				fmt.Printf("GATE FAIL %s %s: %.6g -> %.6g (limit %.6g)\n",
+					b.Spec.Algorithm, m, bv, cv, limit)
+				failed = true
+			} else {
+				fmt.Printf("gate ok   %s %s: %.6g -> %.6g (limit %.6g)\n",
+					b.Spec.Algorithm, m, bv, cv, limit)
+			}
+		}
+	}
+	return failed
+}
