@@ -244,3 +244,32 @@ func BenchmarkAppBSpeedup(b *testing.B) {
 	b.ReportMetric(speedup, "measured-x")
 	b.ReportMetric(model.SpeedupINC(16), "model-x")
 }
+
+// BenchmarkWorkloadStep measures one full FSDP training step — the
+// declarative workload DAG with prefetched multicast Allgathers, in-network
+// Reduce-Scatters and per-layer compute at 16 ranks / 512 KiB shards —
+// including system construction, as an application deploying the library
+// would run it. events/op is the deterministic per-step event count the CI
+// perf gate pins alongside allocs/op.
+func BenchmarkWorkloadStep(b *testing.B) {
+	var executed uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSystem(SystemConfig{Hosts: 16, Topology: "star", Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := NewWorkload("fsdp-inc", WorkloadConfig{Nodes: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.RunWorkload(w); err != nil {
+			b.Fatal(err)
+		}
+		executed += sys.Engine.Executed
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(executed)/float64(b.N), "events/op")
+}

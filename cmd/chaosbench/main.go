@@ -26,7 +26,6 @@ import (
 	"fmt"
 	"os"
 	"slices"
-	"strings"
 
 	"repro/internal/cli"
 	"repro/internal/harness"
@@ -55,7 +54,7 @@ func main() {
 	if *msg <= 0 {
 		cli.Fatalf(2, "chaosbench: msg must be positive, got %d", *msg)
 	}
-	algos := splitList(*algosFlag)
+	algos := cli.SplitList(*algosFlag)
 	if len(algos) == 0 {
 		cli.Fatalf(2, "chaosbench: no algorithms given")
 	}
@@ -68,7 +67,7 @@ func main() {
 	if *scenariosFlag == "all" {
 		scenarios = scenario.Names()
 	} else {
-		scenarios = splitList(*scenariosFlag)
+		scenarios = cli.SplitList(*scenariosFlag)
 		for _, s := range scenarios {
 			if _, err := scenario.New(s); err != nil {
 				cli.Fatalf(2, "chaosbench: %v", err)
@@ -97,15 +96,4 @@ func main() {
 	if err := sweep.WriteFiles(sweep.Report{Name: "chaosbench", Records: recs}, *jsonPath, *csvPath); err != nil {
 		cli.Fatalf(1, "chaosbench: %v", err)
 	}
-}
-
-// splitList parses a comma list, dropping empty elements.
-func splitList(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if p := strings.TrimSpace(part); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
 }

@@ -56,6 +56,7 @@ func main() {
 	comparePath := flag.String("compare", "", "baseline BENCH_*.json to diff the records against")
 	tol := flag.Float64("tol", 0.05, "relative tolerance for -compare")
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+	cli.RegisterTrace()
 	flag.Parse()
 	defer cli.StartCPUProfile()()
 
@@ -96,6 +97,17 @@ func main() {
 		*opFlag, name, *nodes, *linkGbps, *iters, *warmup)
 	if err := sweep.WriteTable(os.Stdout, recs); err != nil {
 		cli.Fatalf(1, "osu: %v", err)
+	}
+
+	if cli.TracePath() != "" {
+		// Re-run the last (largest) size point with a protocol tracer
+		// attached; the traced run is independent of the records above.
+		specs := grid.Expand()
+		timeline, err := harness.CollTrace(specs[len(specs)-1], *linkGbps)
+		if err != nil {
+			cli.Fatalf(1, "osu: trace: %v", err)
+		}
+		cli.WriteTrace(timeline)
 	}
 
 	if *comparePath != "" {

@@ -48,7 +48,53 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/topology"
+	"repro/internal/workload"
 )
+
+// Workload is a declarative, deterministic DAG of steps — compute phases on
+// the cluster's host-CPU model, collective phases on per-job communicators
+// ("comms", serial streams of registry algorithms) — executed by any number
+// of concurrent jobs on one fabric. It is the subsystem behind the FSDP
+// training step of §II-A: prefetched Allgathers and trailing
+// Reduce-Scatters overlapping with compute and with each other.
+type Workload = workload.Workload
+
+// WorkloadJob, WorkloadComm and WorkloadPhase are the declaration
+// vocabulary for hand-built DAGs (the presets cover the common shapes);
+// WorkloadSpan is one recorded phase execution (see Workload.OnSpan for
+// per-completion observation).
+type (
+	WorkloadJob   = workload.Job
+	WorkloadComm  = workload.Comm
+	WorkloadPhase = workload.Phase
+	WorkloadSpan  = workload.Span
+)
+
+// WorkloadConfig parameterizes a preset workload (nodes, layers, shard
+// size, compute per layer, tenant count, replication segments).
+type WorkloadConfig = workload.Config
+
+// WorkloadReport is the outcome of a workload run: per-job step time,
+// per-phase spans, and the achieved communication/computation overlap.
+// WorkloadJobReport is one job's view.
+type (
+	WorkloadReport    = workload.Report
+	WorkloadJobReport = workload.JobReport
+)
+
+// Workloads returns the names of every preset workload, sorted
+// ("dfs-replica", "fsdp-inc", "fsdp-ring", "fsdp-tenants").
+func Workloads() []string { return workload.Names() }
+
+// NewWorkload builds the named preset workload for the configuration.
+func NewWorkload(name string, cfg WorkloadConfig) (Workload, error) { return workload.New(name, cfg) }
+
+// RunWorkload executes the workload's jobs concurrently on the system's
+// fabric, driving the engine until every phase completes, and returns the
+// finalized report.
+func (s *System) RunWorkload(w Workload) (*WorkloadReport, error) {
+	return workload.Run(s.Cluster, w)
+}
 
 // Scenario is a named, deterministic perturbation/workload schedule: link
 // degradations and flaps, drop hotspots, straggler hosts, incast bursts

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// TestReplicationSmoke streams a shortened segment pipeline over the lossy
+// fabric — the example's core path: multicast replication with slow-path
+// repair and end-to-end verification, against the k-nomial baseline. Sized
+// for the -short suite.
+func TestReplicationSmoke(t *testing.T) {
+	const smokeSegments = 2
+	total, _, err := replicate(smokeSegments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 {
+		t.Fatalf("replication total = %v", total)
+	}
+	p2p, err := knomialBaseline(smokeSegments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2p <= total {
+		t.Fatalf("multicast (%v) should beat the k-nomial baseline (%v)", total, p2p)
+	}
+}

@@ -6,11 +6,14 @@
 // overlap both with compute and with each other, competing for injection
 // bandwidth (§II-A).
 //
-// The example runs the same pipeline twice — with the conventional
-// {ring AG, ring RS} pair and with the paper's {multicast AG, in-network
-// RS} pair — and reports step time, speedup, and the achieved
-// communication/computation overlap. Both pairs are registry algorithms
-// driven through the non-blocking Starter surface.
+// The example runs the same declarative workload DAG twice — with the
+// conventional {ring AG, ring RS} pair and with the paper's {multicast AG,
+// in-network RS} pair — and reports step time, speedup, and the achieved
+// communication/computation overlap. The pipeline itself lives in
+// internal/workload ("fsdp-ring"/"fsdp-inc" presets): per-layer prefetch,
+// compute and gradient phases wired by dependency edges, with the
+// Allgathers and Reduce-Scatters serialized on their communicator streams
+// exactly as a framework enqueues them.
 package main
 
 import (
@@ -18,10 +21,8 @@ import (
 	"log"
 
 	"repro"
-	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/sim"
-	"repro/internal/verbs"
 )
 
 const (
@@ -31,168 +32,44 @@ const (
 	computeTime = 150 * sim.Microsecond // forward+backward compute per layer
 )
 
-// collectives abstracts the two Allgather/Reduce-Scatter pairings.
-type collectives struct {
-	name    string
-	startAG func(n int, done func()) error
-	startRS func(n int, done func()) error
-}
-
-// pairFrom wires two registry algorithms into the pipeline's start hooks.
-func pairFrom(sys *repro.System, name, agAlgo string, agOpts repro.AlgorithmOptions, rsAlgo string) (collectives, error) {
-	ag, err := repro.NewAlgorithm(sys, agAlgo, agOpts)
-	if err != nil {
-		return collectives{}, err
-	}
-	rs, err := repro.NewAlgorithm(sys, rsAlgo, repro.AlgorithmOptions{})
-	if err != nil {
-		return collectives{}, err
-	}
-	return collectives{
-		name: name,
-		startAG: func(n int, done func()) error {
-			return ag.(repro.Starter).Start(repro.Op{Kind: repro.Allgather, Bytes: n},
-				func(*repro.Result) { done() })
-		},
-		startRS: func(n int, done func()) error {
-			return rs.(repro.Starter).Start(repro.Op{Kind: repro.ReduceScatter, Bytes: n},
-				func(*repro.Result) { done() })
-		},
-	}, nil
-}
-
 func main() {
-	ringTime, ringOverlap, err := runPipeline(ringPair)
+	ring, err := runPipeline("fsdp-ring", layers, shardBytes)
 	if err != nil {
 		log.Fatal(err)
 	}
-	incTime, incOverlap, err := runPipeline(incPair)
+	inc, err := runPipeline("fsdp-inc", layers, shardBytes)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nFSDP step: %d layers x %d ranks, %d KiB shards, %v compute/layer\n",
 		layers, ranks, shardBytes>>10, computeTime)
-	fmt.Printf("  {AG ring,  RS ring}: step %v, comm/comp overlap %.0f%%\n", ringTime, ringOverlap*100)
-	fmt.Printf("  {AG mcast, RS inc }: step %v, comm/comp overlap %.0f%%\n", incTime, incOverlap*100)
+	fmt.Printf("  {AG ring,  RS ring}: step %v, comm/comp overlap %.0f%%\n",
+		ring.StepTime(), ring.OverlapFrac()*100)
+	fmt.Printf("  {AG mcast, RS inc }: step %v, comm/comp overlap %.0f%%\n",
+		inc.StepTime(), inc.OverlapFrac()*100)
 	fmt.Printf("  speedup: %.2fx (Appendix B bound at P=%d: %.2fx)\n",
-		float64(ringTime)/float64(incTime), ranks, model.SpeedupINC(ranks))
+		float64(ring.StepTime())/float64(inc.StepTime()), ranks, model.SpeedupINC(ranks))
 }
 
-// runPipeline executes one training step with the given collective pair
-// and returns (step time, overlap fraction).
-func runPipeline(build func(sys *repro.System) (collectives, error)) (sim.Time, float64, error) {
+// runPipeline executes one training step with the named collective pairing
+// and returns the job's report (step time, spans, overlap).
+func runPipeline(preset string, nLayers, shard int) (*repro.WorkloadJobReport, error) {
 	sys, err := repro.NewSystem(repro.SystemConfig{Hosts: ranks, Topology: "star", Seed: 7})
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
-	cs, err := build(sys)
+	w, err := repro.NewWorkload(preset, repro.WorkloadConfig{
+		Nodes: ranks, Layers: nLayers, ShardBytes: shard, Compute: computeTime,
+	})
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
-	eng := sys.Engine
-
-	var commBusy sim.Time // sum of collective durations (for overlap metric)
-	timed := func(start func(n int, done func()) error, n int, done func()) error {
-		t0 := eng.Now()
-		return start(n, func() {
-			commBusy += eng.Now() - t0
-			done()
-		})
+	rep, err := sys.RunWorkload(w)
+	if err != nil {
+		return nil, err
 	}
-
-	agDone := make([]bool, layers)   // weights gathered
-	compDone := make([]bool, layers) // layer computed
-	pending := 0
-
-	// Reduce-Scatters are issued onto one serial stream (as a framework
-	// would enqueue them on a communication stream): a new RS starts when
-	// the previous one completes.
-	var rsQueue []int
-	rsBusy := false
-	var issueRS func()
-	issueRS = func() {
-		if rsBusy || len(rsQueue) == 0 {
-			return
-		}
-		rsBusy = true
-		n := rsQueue[0]
-		rsQueue = rsQueue[1:]
-		pending++
-		if err := timed(cs.startRS, n, func() {
-			pending--
-			rsBusy = false
-			issueRS()
-		}); err != nil {
-			log.Fatal(err)
-		}
-	}
-	var tryCompute func(l int)
-	tryCompute = func(l int) {
-		if l >= layers || !agDone[l] || (l > 0 && !compDone[l-1]) {
-			return
-		}
-		// Forward+backward for layer l.
-		pending++
-		eng.After(computeTime, func() {
-			pending--
-			compDone[l] = true
-			// Gradients for this layer reduce-scatter in the background.
-			rsQueue = append(rsQueue, shardBytes)
-			issueRS()
-			tryCompute(l + 1)
-		})
-	}
-	var prefetch func(l int)
-	prefetch = func(l int) {
-		if l >= layers {
-			return
-		}
-		pending++
-		if err := timed(cs.startAG, shardBytes, func() {
-			pending--
-			agDone[l] = true
-			tryCompute(l)
-			prefetch(l + 1) // fetch the next layer's weights behind compute
-		}); err != nil {
-			log.Fatal(err)
-		}
-	}
-	prefetch(0)
-	end := sys.Run()
-	if pending != 0 {
-		return 0, 0, fmt.Errorf("fsdp (%s): %d operations never finished", cs.name, pending)
-	}
-
-	// Overlap: the fraction of communication time hidden behind compute or
-	// other communication. Exposed = step - compute on the critical path.
-	compute := sim.Time(layers) * computeTime
-	exposed := end - compute
-	if exposed < 0 {
-		exposed = 0
-	}
-	overlap := 1 - float64(exposed)/float64(commBusy)
-	if overlap < 0 {
-		overlap = 0
-	}
-	fmt.Printf("%-22s finished at %v (comm busy %v, exposed %v)\n", cs.name, end, commBusy, exposed)
-	return end, overlap, nil
-}
-
-// ringPair wires the conventional UCC/NCCL pairing.
-func ringPair(sys *repro.System) (collectives, error) {
-	return pairFrom(sys, "{AG ring, RS ring}",
-		"ring-allgather", repro.AlgorithmOptions{}, "ring-reduce-scatter")
-}
-
-// incPair wires the paper's pairing: multicast Allgather on the receive
-// path, in-network Reduce-Scatter on the send path.
-func incPair(sys *repro.System) (collectives, error) {
-	return pairFrom(sys, "{AG mcast, RS inc}",
-		"mcast-allgather", repro.AlgorithmOptions{
-			Core: core.Config{
-				Transport: verbs.UD,
-				Subgroups: 4,
-				Chains:    ranks, // spread injection: the send path belongs to RS
-			},
-		}, "inc-reduce-scatter")
+	j := rep.Job("fsdp")
+	fmt.Printf("%-22s finished at %v (comm busy %v, exposed %v)\n",
+		preset, j.End, j.CommBusy, j.Exposed())
+	return j, nil
 }

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+// TestPipelineSmoke runs a scaled-down training step with both collective
+// pairings — the example's core path — and checks the paper's
+// application-level claim holds: the {mcast AG, inc RS} pairing beats
+// {ring, ring} with better overlap. Sized for the -short suite.
+func TestPipelineSmoke(t *testing.T) {
+	const (
+		smokeLayers = 3
+		smokeShard  = 128 << 10
+	)
+	ring, err := runPipeline("fsdp-ring", smokeLayers, smokeShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := runPipeline("fsdp-inc", smokeLayers, smokeShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.StepTime() >= ring.StepTime() {
+		t.Fatalf("inc pair (%v) should beat ring pair (%v)", inc.StepTime(), ring.StepTime())
+	}
+	for _, j := range []struct {
+		name string
+		rep  interface {
+			OverlapFrac() float64
+		}
+	}{{"ring", ring}, {"inc", inc}} {
+		if f := j.rep.OverlapFrac(); f <= 0 || f > 1 {
+			t.Fatalf("%s overlap = %v, want in (0,1]", j.name, f)
+		}
+	}
+	// Every layer contributes an AG, a compute, and an RS span.
+	if got, want := len(ring.Spans), 3*smokeLayers; got != want {
+		t.Fatalf("ring pipeline recorded %d spans, want %d", got, want)
+	}
+}

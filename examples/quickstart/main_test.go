@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+// TestQuickstartSmoke runs the example's core path at a -short-friendly
+// size: the verified multicast Allgather must beat the ring baseline on
+// switch-port traffic (the paper's ~2x claim) and produce a valid result.
+func TestQuickstartSmoke(t *testing.T) {
+	out, err := run(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.mcast.Duration() <= 0 || out.ring.Duration() <= 0 {
+		t.Fatalf("degenerate durations: mcast %v, ring %v", out.mcast.Duration(), out.ring.Duration())
+	}
+	reduction := float64(out.ringBytes) / float64(out.mcastBytes)
+	if reduction < 1.5 {
+		t.Fatalf("traffic reduction = %.2fx, want >= 1.5x (mcast %d B, ring %d B)",
+			reduction, out.mcastBytes, out.ringBytes)
+	}
+}

@@ -6,12 +6,63 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strings"
 )
 
 // cpuProfile registers the shared -cpuprofile flag on the default flag set:
 // importing this package from a main is enough for the flag to exist, and
 // every cmd binary calls StartCPUProfile right after flag.Parse.
 var cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+
+// tracePath backs the shared -trace flag. Unlike -cpuprofile (meaningful
+// everywhere), tracing needs a protocol run to attach to, so the flag is
+// registered only by binaries that honor it — RegisterTrace before
+// flag.Parse; elsewhere -trace fails flag parsing (exit 2) instead of
+// being silently ignored.
+var tracePath *string
+
+// RegisterTrace registers the -trace flag: after the sweep, one
+// representative point re-runs with a trace.Recorder attached to its
+// multicast protocol state machines and the Figure-9 phase timeline is
+// written to the path. The traced run is separate from the sweep, so
+// -json/-csv records stay byte-identical; P2P baselines have no tracer
+// and produce "(no events)". Call before flag.Parse.
+func RegisterTrace() {
+	tracePath = flag.String("trace", "", "write the Figure-9 protocol phase timeline of one representative run to this file")
+}
+
+// TracePath returns the -trace argument ("" when unset or unregistered).
+func TracePath() string {
+	if tracePath == nil {
+		return ""
+	}
+	return *tracePath
+}
+
+// WriteTrace writes a rendered timeline to the -trace path. A no-op when
+// the flag is unset; exits with code 1 on an unwritable path (runtime
+// failure convention).
+func WriteTrace(timeline string) {
+	if TracePath() == "" {
+		return
+	}
+	if err := os.WriteFile(TracePath(), []byte(timeline), 0o644); err != nil {
+		Fatalf(1, "trace: %v", err)
+	}
+}
+
+// SplitList parses a comma-separated flag value, trimming whitespace and
+// dropping empty elements — the shared parser behind -algos, -scenarios
+// and -workloads.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 // Fatalf prints the formatted message to stderr and exits with code.
 // Convention across the binaries: 2 for invalid flags or parameters,

@@ -86,4 +86,25 @@ func TestRxArbitersSharedAndValidated(t *testing.T) {
 	if _, err := n.RxArbiters(4, false, dpa.CPURCRecv); err == nil {
 		t.Fatal("mismatched profile accepted")
 	}
+	if _, err := n.RxArbiters(4, true, dpa.CPUUDRecv); err == nil {
+		t.Fatal("mismatched substrate (CPU vs DPA) accepted")
+	}
+}
+
+func TestRxArbitersOnDPAMismatchRejected(t *testing.T) {
+	// The substrate choice is part of the geometry: a host whose arbiters
+	// run on the DPA cannot hand them to a caller expecting CPU arbiters.
+	cl := testCluster(t)
+	n := cl.Node(cl.Fabric().Graph().Hosts()[0])
+	a, err := n.RxArbiters(2, true, dpa.DPAUDRecv)
+	if err != nil || len(a) != 2 {
+		t.Fatalf("DPA arbiters: %v (%d)", err, len(a))
+	}
+	if _, err := n.RxArbiters(2, false, dpa.DPAUDRecv); err == nil {
+		t.Fatal("CPU request against DPA arbiters accepted")
+	}
+	b, err := n.RxArbiters(2, true, dpa.DPAUDRecv)
+	if err != nil || b[0] != a[0] {
+		t.Fatalf("matching DPA request not shared: %v", err)
+	}
 }

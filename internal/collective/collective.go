@@ -9,7 +9,12 @@
 // protocol layers can share its types without an import cycle.
 package collective
 
-import "repro/internal/sim"
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
 
 // Kind names a collective operation.
 type Kind string
@@ -22,6 +27,19 @@ const (
 	Allreduce     Kind = "allreduce"
 	Barrier       Kind = "barrier"
 )
+
+// KindOfAlgorithm derives the operation kind from a registry algorithm
+// name by its suffix ("ring-allgather" -> Allgather) — the naming
+// convention every registry entry follows. Shared by the harness kernels
+// and the workload engine so op derivation cannot diverge.
+func KindOfAlgorithm(algo string) (Kind, error) {
+	for _, k := range []Kind{Allgather, Broadcast, ReduceScatter, Allreduce} {
+		if strings.HasSuffix(algo, "-"+string(k)) {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("collective: cannot derive operation from algorithm %q", algo)
+}
 
 // Op describes one collective operation, independent of the algorithm that
 // executes it.

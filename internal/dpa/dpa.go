@@ -141,6 +141,9 @@ type Thread struct {
 	IssueCyclesRetired float64
 }
 
+// Chip returns the processing element the thread executes on.
+func (t *Thread) Chip() *Chip { return t.chip }
+
 // AllocThreads hands out n hardware threads co-located compactly: the first
 // 16 on core 0, the next 16 on core 1, and so on — the placement the paper
 // uses to stress shared-core scaling ("first occupy 16 hardware threads of

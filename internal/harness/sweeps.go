@@ -2,7 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/coll"
@@ -15,7 +14,9 @@ import (
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/verbs"
+	"repro/internal/workload"
 )
 
 // This file declares every experiment as a sweep: a Grid (or composed spec
@@ -94,15 +95,7 @@ func RxKernel(s sweep.Spec) (sweep.Record, error) {
 
 // opForAlgo derives the operation kind from a registry algorithm name.
 func opForAlgo(algo string) (collective.Kind, error) {
-	for _, k := range []collective.Kind{
-		collective.Allgather, collective.Broadcast,
-		collective.ReduceScatter, collective.Allreduce,
-	} {
-		if strings.HasSuffix(algo, "-"+string(k)) {
-			return k, nil
-		}
-	}
-	return "", fmt.Errorf("harness: cannot derive operation from algorithm %q", algo)
+	return collective.KindOfAlgorithm(algo)
 }
 
 // collPoint resolves one collective grid point on the testbed model: the
@@ -365,23 +358,26 @@ func AppBSpecs(ps []int, n int) []sweep.Spec {
 		Nodes: ps, MsgBytes: []int{n}, Seed: 21}.Expand()
 }
 
-// appBKernel starts an Allgather and a Reduce-Scatter together on one
-// fresh star system (full-bandwidth, as Appendix B assumes) through the
-// registry's non-blocking Starter surface and reports the span from first
-// start to last finish.
+// appBKernel runs an Allgather and a Reduce-Scatter concurrently on one
+// fresh star system (full-bandwidth, as Appendix B assumes) as a two-phase
+// workload DAG — two single-op streams with no dependency edge, so both
+// post at t=0 and contend for the shared NICs — and reports the span from
+// first start to last finish, read from the unified Results.
 func appBKernel(s sweep.Spec) (sweep.Record, error) {
-	var agAlgo, rsAlgo string
-	var agCore core.Config
+	var ag, rs workload.Comm
 	switch s.Algorithm {
 	case "ring-pair":
-		agAlgo, rsAlgo = "ring-allgather", "ring-reduce-scatter"
+		ag = workload.Comm{Name: "ag", Algorithm: "ring-allgather"}
+		rs = workload.Comm{Name: "rs", Algorithm: "ring-reduce-scatter"}
 	case "inc-pair":
 		// All multicast chains run concurrently: with the send path
 		// otherwise consumed by the Reduce-Scatter stream, spreading each
 		// root's injection over the whole operation (multicast parallelism,
 		// §IV-A) is what lets the Allgather live on the receive path alone.
-		agAlgo, rsAlgo = "mcast-allgather", "inc-reduce-scatter"
-		agCore = core.Config{Transport: verbs.UD, Chains: s.Nodes, Subgroups: 4}
+		ag = workload.Comm{Name: "ag", Algorithm: "mcast-allgather", Options: registry.Options{
+			Core: core.Config{Transport: verbs.UD, Chains: s.Nodes, Subgroups: 4},
+		}}
+		rs = workload.Comm{Name: "rs", Algorithm: "inc-reduce-scatter"}
 	default:
 		return sweep.Record{}, fmt.Errorf("harness: unknown pair %q", s.Algorithm)
 	}
@@ -389,26 +385,25 @@ func appBKernel(s sweep.Spec) (sweep.Record, error) {
 	g := topology.Star(s.Nodes)
 	f := fabric.New(eng, g, fabric.Config{})
 	cl := cluster.New(f, cluster.Config{})
-	ag, err := registry.New(cl, agAlgo, registry.Options{Core: agCore})
+	rep, err := workload.Run(cl, workload.Workload{Name: s.Algorithm, Jobs: []workload.Job{{
+		Name:  "pair",
+		Comms: []workload.Comm{ag, rs},
+		Phases: []workload.Phase{
+			{Name: "ag", Comm: "ag", Bytes: s.MsgBytes},
+			{Name: "rs", Comm: "rs", Bytes: s.MsgBytes},
+		},
+	}}})
 	if err != nil {
-		return sweep.Record{}, err
-	}
-	rs, err := registry.New(cl, rsAlgo, registry.Options{})
-	if err != nil {
-		return sweep.Record{}, err
+		return sweep.Record{}, fmt.Errorf("harness: {%s} at P=%d: %w", s.Algorithm, s.Nodes, err)
 	}
 	var agR, rsR *collective.Result
-	if err := ag.(collective.Starter).Start(collective.Op{Kind: collective.Allgather, Bytes: s.MsgBytes},
-		func(r *collective.Result) { agR = r }); err != nil {
-		return sweep.Record{}, err
-	}
-	if err := rs.(collective.Starter).Start(collective.Op{Kind: collective.ReduceScatter, Bytes: s.MsgBytes},
-		func(r *collective.Result) { rsR = r }); err != nil {
-		return sweep.Record{}, err
-	}
-	eng.Run()
-	if agR == nil || rsR == nil {
-		return sweep.Record{}, fmt.Errorf("harness: {%s, %s} pair did not complete at P=%d", agAlgo, rsAlgo, s.Nodes)
+	for _, span := range rep.Job("pair").Spans {
+		switch span.Phase {
+		case "ag":
+			agR = span.Result
+		case "rs":
+			rsR = span.Result
+		}
 	}
 	span := maxTime(agR.End, rsR.End) - minTime(agR.Start, rsR.Start)
 	return sweep.Record{Spec: s, Metrics: map[string]float64{
@@ -421,6 +416,41 @@ func appBKernel(s sweep.Spec) (sweep.Record, error) {
 // come first, then inc-pair, each in ps order.
 func AppBRecords(ps []int, n int) ([]sweep.Record, error) {
 	return sweep.Run(AppBSpecs(ps, n), 0, appBKernel)
+}
+
+// CollTrace runs one collective point of the OSU sweep with a trace
+// recorder attached to the protocol state machines and returns the
+// Figure-9 phase timeline (task dispatch, RNR barrier, multicast start /
+// finish per rank, recovery actions, final handshake). The traced run is
+// separate from the sweep records, so attaching it never perturbs their
+// byte-identity; P2P baselines have no tracer and yield "(no events)".
+func CollTrace(s sweep.Spec, linkGbps float64) (string, error) {
+	rec := &trace.Recorder{}
+	if s.Op == "" {
+		kind, err := opForAlgo(s.Algorithm)
+		if err != nil {
+			return "", err
+		}
+		s.Op = string(kind)
+	}
+	linkBw := linkGbps * 1e9 / 8
+	eng := sim.NewEngine(s.Seed)
+	g := topology.Testbed188()
+	if s.Nodes < 1 || s.Nodes > len(g.Hosts()) {
+		return "", fmt.Errorf("harness: nodes must be in [1,%d]", len(g.Hosts()))
+	}
+	f := fabric.New(eng, g, fabric.Config{LinkBandwidth: linkBw})
+	alg, err := registry.New(cluster.New(f, cluster.Config{}), s.Algorithm, registry.Options{
+		Hosts: g.Hosts()[:s.Nodes],
+		Core:  core.Config{Tracer: rec},
+	})
+	if err != nil {
+		return "", err
+	}
+	if _, err := alg.Run(collective.Op{Kind: collective.Kind(s.Op), Bytes: s.MsgBytes}); err != nil {
+		return "", err
+	}
+	return rec.Timeline(), nil
 }
 
 // --- OSU-style kernel ------------------------------------------------------------

@@ -7,6 +7,10 @@ package sweep
 // sizes for two transports sets just MsgBytes and Transports.
 type Grid struct {
 	Algorithms []string `json:"algorithms,omitempty"`
+	// Workloads names internal/workload presets ("fsdp-inc", ...) for
+	// application-level sweeps. Empty means no workload axis, exactly as
+	// before the axis existed.
+	Workloads  []string `json:"workloads,omitempty"`
 	Ops        []string `json:"ops,omitempty"`
 	Nodes      []int    `json:"nodes,omitempty"`
 	MsgBytes   []int    `json:"msg_bytes,omitempty"`
@@ -40,9 +44,9 @@ func orInt(axis []int) []int {
 func (g Grid) Points() int {
 	n := 1
 	for _, k := range []int{
-		len(orStr(g.Algorithms)), len(orStr(g.Ops)), len(orInt(g.Nodes)),
-		len(orInt(g.MsgBytes)), len(orStr(g.Transports)), len(orInt(g.Threads)),
-		len(orInt(g.ChunkSizes)), len(orStr(g.Scenarios)),
+		len(orStr(g.Algorithms)), len(orStr(g.Workloads)), len(orStr(g.Ops)),
+		len(orInt(g.Nodes)), len(orInt(g.MsgBytes)), len(orStr(g.Transports)),
+		len(orInt(g.Threads)), len(orInt(g.ChunkSizes)), len(orStr(g.Scenarios)),
 	} {
 		n *= k
 	}
@@ -55,22 +59,24 @@ func (g Grid) Expand() []Spec {
 	specs := make([]Spec, 0, g.Points())
 	idx := 0
 	for _, alg := range orStr(g.Algorithms) {
-		for _, op := range orStr(g.Ops) {
-			for _, nodes := range orInt(g.Nodes) {
-				for _, msg := range orInt(g.MsgBytes) {
-					for _, tr := range orStr(g.Transports) {
-						for _, th := range orInt(g.Threads) {
-							for _, cs := range orInt(g.ChunkSizes) {
-								for _, sc := range orStr(g.Scenarios) {
-									specs = append(specs, Spec{
-										Algorithm: alg, Op: op, Nodes: nodes,
-										MsgBytes: msg, Transport: tr,
-										Threads: th, ChunkSize: cs,
-										Scenario: sc,
-										Seed:     PointSeed(g.Seed, idx),
-										Index:    idx,
-									})
-									idx++
+		for _, wl := range orStr(g.Workloads) {
+			for _, op := range orStr(g.Ops) {
+				for _, nodes := range orInt(g.Nodes) {
+					for _, msg := range orInt(g.MsgBytes) {
+						for _, tr := range orStr(g.Transports) {
+							for _, th := range orInt(g.Threads) {
+								for _, cs := range orInt(g.ChunkSizes) {
+									for _, sc := range orStr(g.Scenarios) {
+										specs = append(specs, Spec{
+											Algorithm: alg, Workload: wl, Op: op,
+											Nodes: nodes, MsgBytes: msg, Transport: tr,
+											Threads: th, ChunkSize: cs,
+											Scenario: sc,
+											Seed:     PointSeed(g.Seed, idx),
+											Index:    idx,
+										})
+										idx++
+									}
 								}
 							}
 						}

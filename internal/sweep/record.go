@@ -21,6 +21,13 @@ type Record struct {
 	// Result carries the unified collective outcome (with RankStats) when
 	// the point ran a registry algorithm; nil for datapath microbenchmarks.
 	Result *collective.Result `json:"result,omitempty"`
+	// Workload and OverlapFrac are optional application-level metadata,
+	// filled by kernels that execute an internal/workload DAG: the preset
+	// that ran and the fraction of communication hidden behind compute or
+	// other communication. Zero values are omitted, so records from
+	// non-workload sweeps serialize exactly as before the fields existed.
+	Workload    string  `json:"workload,omitempty"`
+	OverlapFrac float64 `json:"overlap_frac,omitempty"`
 }
 
 // Metric returns the named metric, or 0 when absent.
@@ -58,6 +65,7 @@ type specColumn struct {
 
 var specColumns = []specColumn{
 	{"algorithm", func(s Spec) string { return s.Algorithm }, func(s Spec) bool { return s.Algorithm != "" }},
+	{"workload", func(s Spec) string { return s.Workload }, func(s Spec) bool { return s.Workload != "" }},
 	{"op", func(s Spec) string { return s.Op }, func(s Spec) bool { return s.Op != "" }},
 	{"transport", func(s Spec) string { return s.Transport }, func(s Spec) bool { return s.Transport != "" }},
 	{"nodes", func(s Spec) string { return fmt.Sprint(s.Nodes) }, func(s Spec) bool { return s.Nodes != 0 }},

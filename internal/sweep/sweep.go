@@ -29,6 +29,10 @@ type Spec struct {
 	// Algorithm is a registry name ("mcast-allgather") or a driver-defined
 	// scenario label ("ring-pair").
 	Algorithm string `json:"algorithm,omitempty"`
+	// Workload names the internal/workload preset the point runs
+	// ("fsdp-inc", ...). Empty means the point is not an application-level
+	// sweep.
+	Workload string `json:"workload,omitempty"`
 	// Op is the collective operation kind, where applicable.
 	Op string `json:"op,omitempty"`
 	// Nodes is the participating endpoint count.
@@ -56,8 +60,8 @@ type Spec struct {
 // Seed and Index — used to match points across runs of the same grid shape
 // (Compare) even when base seeds differ.
 func (s Spec) Key() string {
-	return fmt.Sprintf("%s/%s/n%d/b%d/%s/t%d/c%d/%s",
-		s.Algorithm, s.Op, s.Nodes, s.MsgBytes, s.Transport, s.Threads, s.ChunkSize, s.Scenario)
+	return fmt.Sprintf("%s/%s/%s/n%d/b%d/%s/t%d/c%d/%s",
+		s.Algorithm, s.Workload, s.Op, s.Nodes, s.MsgBytes, s.Transport, s.Threads, s.ChunkSize, s.Scenario)
 }
 
 // String renders the non-zero axes, for error messages and labels.
@@ -66,6 +70,9 @@ func (s Spec) String() string {
 	add := func(f string, v interface{}) { parts = append(parts, fmt.Sprintf(f, v)) }
 	if s.Algorithm != "" {
 		add("%s", s.Algorithm)
+	}
+	if s.Workload != "" {
+		add("%s", s.Workload)
 	}
 	if s.Op != "" {
 		add("%s", s.Op)

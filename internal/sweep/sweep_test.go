@@ -289,3 +289,61 @@ func TestScenarioAxisExpansion(t *testing.T) {
 		}
 	}
 }
+
+func TestWorkloadAxisExpansion(t *testing.T) {
+	// The Workload axis participates in the product (after Algorithms) and
+	// in Key/String; leaving it empty reproduces the pre-axis expansion
+	// exactly, seeds included, so existing grids are unchanged.
+	g := Grid{Workloads: []string{"fsdp-ring", "fsdp-inc"}, MsgBytes: []int{1, 2}, Seed: 3}
+	specs := g.Expand()
+	if len(specs) != 4 || g.Points() != 4 {
+		t.Fatalf("want 4 points, got %d (Points %d)", len(specs), g.Points())
+	}
+	wantOrder := []string{"fsdp-ring", "fsdp-ring", "fsdp-inc", "fsdp-inc"}
+	for i, s := range specs {
+		if s.Workload != wantOrder[i] {
+			t.Fatalf("point %d workload %q, want %q", i, s.Workload, wantOrder[i])
+		}
+	}
+	if k0, k2 := specs[0].Key(), specs[2].Key(); k0 == k2 {
+		t.Fatalf("workload not part of Key: %q", k0)
+	}
+	if s := specs[2].String(); !strings.Contains(s, "fsdp-inc") {
+		t.Fatalf("String() %q does not name the workload", s)
+	}
+
+	// Axis-free grids keep their pre-axis seeds (same goldens as the
+	// Scenario-axis check).
+	free := testGrid().Expand()
+	golden := map[int]uint64{0: 8581286081765471666, 11: 10844028036091490113}
+	for i, want := range golden {
+		if free[i].Workload != "" {
+			t.Fatalf("axis-free grid produced workload %q at point %d", free[i].Workload, i)
+		}
+		if got := free[i].Seed; got != want {
+			t.Fatalf("point %d seed = %d, want pre-axis golden %d", i, got, want)
+		}
+	}
+}
+
+func TestRecordWorkloadMetadataOmittedWhenEmpty(t *testing.T) {
+	// Records without workload metadata must serialize exactly as before
+	// the fields existed — the BENCH_*.json byte-identity contract.
+	var buf strings.Builder
+	rec := Record{Spec: Spec{Algorithm: "a", Seed: 1}, Metrics: map[string]float64{"m": 1}}
+	if err := WriteJSON(&buf, Report{Name: "r", Records: []Record{rec}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "workload") || strings.Contains(buf.String(), "overlap_frac") {
+		t.Fatalf("empty metadata serialized: %s", buf.String())
+	}
+	buf.Reset()
+	rec.Workload, rec.OverlapFrac = "fsdp-inc", 0.5
+	if err := WriteJSON(&buf, Report{Name: "r", Records: []Record{rec}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"workload": "fsdp-inc"`) ||
+		!strings.Contains(buf.String(), `"overlap_frac": 0.5`) {
+		t.Fatalf("metadata missing: %s", buf.String())
+	}
+}
