@@ -31,6 +31,7 @@ func main() {
 	csvPath := flag.String("csv", "", "write sweep records as CSV to this path")
 	flag.Parse()
 	defer cli.StartCPUProfile()()
+	harness.SetShards(cli.Shards())
 
 	var recs []sweep.Record
 	var err error

@@ -47,6 +47,7 @@ func main() {
 	csvPath := flag.String("csv", "", "write sweep records as CSV to this path")
 	flag.Parse()
 	defer cli.StartCPUProfile()()
+	harness.SetShards(cli.Shards())
 
 	if *nodes < 2 || *nodes > 188 {
 		cli.Fatalf(2, "chaosbench: nodes must be in [2,188], got %d", *nodes)

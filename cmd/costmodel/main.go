@@ -33,6 +33,7 @@ func main() {
 	csvPath := flag.String("csv", "", "write all produced sweep records as CSV to this path")
 	flag.Parse()
 	defer cli.StartCPUProfile()()
+	harness.SetShards(cli.Shards())
 	if !*all && *fig == 0 && !*speedup && !*economics {
 		flag.Usage()
 		os.Exit(2)

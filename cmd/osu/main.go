@@ -59,6 +59,7 @@ func main() {
 	cli.RegisterTrace()
 	flag.Parse()
 	defer cli.StartCPUProfile()()
+	harness.SetShards(cli.Shards())
 
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {

@@ -32,6 +32,7 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
 	defer cli.StartCPUProfile()()
+	harness.SetShards(cli.Shards())
 
 	if *nodes < 2 || *nodes > 188 {
 		cli.Fatalf(2, "trafficbench: nodes must be in [2,188], got %d", *nodes)

@@ -58,6 +58,7 @@ func main() {
 	cli.RegisterTrace()
 	flag.Parse()
 	defer cli.StartCPUProfile()()
+	harness.SetShards(cli.Shards())
 
 	if *nodes < 2 {
 		cli.Fatalf(2, "trainbench: nodes must be >= 2, got %d", *nodes)

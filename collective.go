@@ -235,6 +235,10 @@ type SystemConfig struct {
 	Cluster cluster.Config
 	// Seed fixes the simulation's random stream (default 1).
 	Seed uint64
+	// Shards selects conservative-parallel engine execution (sim.Sharded).
+	// 0 or 1 is the plain serial engine; any value yields byte-identical
+	// results — it is purely an execution knob.
+	Shards int
 }
 
 // System bundles one simulation: engine, topology, fabric and the shared
@@ -285,7 +289,12 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine(cfg.Seed)
+	var eng *sim.Engine
+	if cfg.Shards > 1 {
+		_, eng = fabric.NewShardedEngine(cfg.Seed, g, cfg.Fabric, cfg.Shards)
+	} else {
+		eng = sim.NewEngine(cfg.Seed)
+	}
 	f := fabric.New(eng, g, cfg.Fabric)
 	return &System{
 		Engine:  eng,

@@ -14,6 +14,22 @@ import (
 // every cmd binary calls StartCPUProfile right after flag.Parse.
 var cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 
+// shards backs the shared -shards flag. Like -cpuprofile it is registered
+// by the package import itself: the conservative-parallel engine mode is
+// an execution knob meaningful to every binary, never a sweep axis, and
+// -shards 1 (the default) is exactly the serial engine.
+var shards = flag.Int("shards", 1, "engine shards for conservative parallel execution (1 = serial; results are identical at any value)")
+
+// Shards validates and returns the -shards argument. Call after
+// flag.Parse; exits with code 2 (invalid-flag convention) when the value
+// is not positive.
+func Shards() int {
+	if *shards < 1 {
+		Fatalf(2, "shards: %d is not a positive shard count", *shards)
+	}
+	return *shards
+}
+
 // tracePath backs the shared -trace flag. Unlike -cpuprofile (meaningful
 // everywhere), tracing needs a protocol run to attach to, so the flag is
 // registered only by binaries that honor it — RegisterTrace before

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/dpa"
 	"repro/internal/fabric"
+	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/verbs"
 )
@@ -86,6 +87,10 @@ type Cluster struct {
 
 // New builds an empty cluster over the fabric.
 func New(f *fabric.Fabric, cfg Config) *Cluster {
+	// The per-host runtime schedules directly on the fabric's engine; in a
+	// sharded group that engine must be the primary shard (the stack is not
+	// yet partitioned across shards — see internal/sim shard docs).
+	sim.AssertShardable(f.Engine(), "cluster")
 	return &Cluster{f: f, cfg: cfg.withDefaults(), nodes: make(map[topology.NodeID]*Node)}
 }
 

@@ -1,0 +1,92 @@
+// Shard partitioning: maps topology hosts onto sim.Sharded shards and
+// extracts the conservative lookahead window from the fabric's channel
+// latencies. The partition is computed once, at engine-construction time,
+// from static topology + config — it never changes mid-run, which is what
+// lets the lookahead be a constant.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Partition assigns every topology node to a shard. Hosts are split into
+// contiguous index blocks (host i of H goes to shard i*N/H); switches are
+// shared fabric infrastructure and belong to no shard (Owner returns -1).
+type Partition struct {
+	shards int
+	owner  []int // node ID -> shard, or -1
+}
+
+// PartitionHosts partitions the graph's hosts across shards contiguous
+// blocks. shards is clamped to [1, number of hosts]: more shards than
+// hosts would leave empty shards that only cost barrier time.
+func PartitionHosts(g *topology.Graph, shards int) Partition {
+	hosts := g.Hosts()
+	if shards < 1 {
+		shards = 1
+	}
+	if len(hosts) > 0 && shards > len(hosts) {
+		shards = len(hosts)
+	}
+	p := Partition{shards: shards, owner: make([]int, len(g.Nodes))}
+	for i := range p.owner {
+		p.owner[i] = -1
+	}
+	for i, h := range hosts {
+		p.owner[h] = i * shards / len(hosts)
+	}
+	return p
+}
+
+// Shards returns the effective shard count after clamping.
+func (p Partition) Shards() int { return p.shards }
+
+// Owner returns the shard owning the node, or -1 for shared fabric nodes
+// (switches).
+func (p Partition) Owner(n topology.NodeID) int {
+	if int(n) >= len(p.owner) {
+		panic(fmt.Sprintf("fabric: Owner of unknown node %d", n))
+	}
+	return p.owner[n]
+}
+
+// Lookahead returns the conservative synchronization window for the
+// partition under cfg: the minimum latency of any channel that can carry
+// an event between two different shards. Any cross-shard interaction
+// traverses at least one link, so no shard can affect another sooner than
+// this — the core conservative-parallel guarantee.
+//
+// Every channel currently shares cfg.LinkLatency as its base latency
+// (SetExtraLatency only ever adds), so the scan is over link endpoints
+// only; it keeps the per-link form so heterogeneous latencies stay a
+// local change.
+func (p Partition) Lookahead(g *topology.Graph, cfg Config) sim.Time {
+	cfg = cfg.withDefaults()
+	min := sim.Time(0)
+	for _, l := range g.Links {
+		a, b := p.owner[l.A], p.owner[l.B]
+		if a == b && a >= 0 {
+			continue // intra-shard host pair (possible only host-to-host)
+		}
+		if min == 0 || cfg.LinkLatency < min {
+			min = cfg.LinkLatency
+		}
+	}
+	if min == 0 {
+		min = cfg.LinkLatency // no cross-shard links: any positive window works
+	}
+	return min
+}
+
+// NewShardedEngine builds the sim.Sharded group for a graph: hosts
+// partitioned into contiguous blocks, lookahead extracted from the
+// channel latencies. It returns the group and the primary shard's engine,
+// on which the (currently shard-0-confined) fabric stack is built.
+func NewShardedEngine(seed uint64, g *topology.Graph, cfg Config, shards int) (*sim.Sharded, *sim.Engine) {
+	p := PartitionHosts(g, shards)
+	grp := sim.NewSharded(seed, p.Shards(), p.Lookahead(g, cfg))
+	return grp, grp.Shard(0)
+}

@@ -1,0 +1,91 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestPartitionHostsContiguousBlocks(t *testing.T) {
+	g := topology.Star(8)
+	p := PartitionHosts(g, 4)
+	if p.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", p.Shards())
+	}
+	hosts := g.Hosts()
+	prev := 0
+	counts := map[int]int{}
+	for i, h := range hosts {
+		o := p.Owner(h)
+		if o < prev {
+			t.Fatalf("host %d owner %d below previous %d: blocks must be contiguous", i, o, prev)
+		}
+		prev = o
+		counts[o]++
+	}
+	for s := 0; s < 4; s++ {
+		if counts[s] != 2 {
+			t.Fatalf("shard %d owns %d hosts, want 2", s, counts[s])
+		}
+	}
+	for _, sw := range g.Switches() {
+		if p.Owner(sw) != -1 {
+			t.Fatalf("switch %d has owner %d, want -1", sw, p.Owner(sw))
+		}
+	}
+}
+
+func TestPartitionClampsToHostCount(t *testing.T) {
+	g := topology.Star(3)
+	if got := PartitionHosts(g, 8).Shards(); got != 3 {
+		t.Fatalf("shards = %d, want clamp to 3 hosts", got)
+	}
+	if got := PartitionHosts(g, 0).Shards(); got != 1 {
+		t.Fatalf("shards = %d, want clamp to 1", got)
+	}
+}
+
+func TestPartitionLookahead(t *testing.T) {
+	g := topology.Star(4)
+	p := PartitionHosts(g, 2)
+	if got := p.Lookahead(g, Config{}); got != 250*sim.Nanosecond {
+		t.Fatalf("default lookahead = %v, want 250ns", got)
+	}
+	cfg := Config{LinkLatency: 3 * sim.Microsecond}
+	if got := p.Lookahead(g, cfg); got != 3*sim.Microsecond {
+		t.Fatalf("lookahead = %v, want 3us", got)
+	}
+	// Single shard: no cross-shard links, but the window must stay positive.
+	if got := PartitionHosts(g, 1).Lookahead(g, cfg); got <= 0 {
+		t.Fatalf("1-shard lookahead = %v, want positive", got)
+	}
+}
+
+func TestNewShardedEngineDeterminismAcrossShards(t *testing.T) {
+	// The full fabric stack runs confined to the primary shard; its results
+	// must be bit-identical for every shard count.
+	run := func(shards int) (sim.Time, uint64) {
+		g := topology.Star(4)
+		grp, eng := NewShardedEngine(42, g, Config{}, shards)
+		f := New(eng, g, Config{})
+		hosts := g.Hosts()
+		var got uint64
+		dst := f.AttachNIC(hosts[1])
+		dst.Deliver = func(pkt *Packet) { got += uint64(pkt.PayloadBytes) }
+		src := f.AttachNIC(hosts[0])
+		src.Inject(&Packet{Dst: hosts[1], Group: NoGroup, PayloadBytes: 4096, Flow: 1})
+		end := grp.Run()
+		return end, got
+	}
+	wantT, wantB := run(1)
+	if wantB == 0 {
+		t.Fatal("packet never delivered")
+	}
+	for _, n := range []int{2, 4} {
+		gotT, gotB := run(n)
+		if gotT != wantT || gotB != wantB {
+			t.Fatalf("shards=%d diverged: t=%v bytes=%d, want t=%v bytes=%d", n, gotT, gotB, wantT, wantB)
+		}
+	}
+}

@@ -18,12 +18,13 @@ import (
 // testbedFabric builds the 188-node UCC-testbed model (or a prefix of it)
 // with the paper's 56 Gbit/s ConnectX-3 links.
 func testbedFabric(seed uint64, linkBw float64) (*sim.Engine, *fabric.Fabric) {
-	eng := sim.NewEngine(seed)
 	g := topology.Testbed188()
 	if linkBw == 0 {
 		linkBw = 7e9 // 56 Gbit/s
 	}
-	f := fabric.New(eng, g, fabric.Config{LinkBandwidth: linkBw})
+	fcfg := fabric.Config{LinkBandwidth: linkBw}
+	eng := newEngine(seed, g, fcfg)
+	f := fabric.New(eng, g, fcfg)
 	return eng, f
 }
 

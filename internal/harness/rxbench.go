@@ -76,9 +76,10 @@ func RunRxBench(cfg RxBenchConfig) RxBenchResult {
 	if cfg.Workers <= 0 || cfg.ChunkBytes <= 0 || cfg.TotalBytes <= 0 {
 		panic("harness: invalid rxbench config")
 	}
-	eng := sim.NewEngine(cfg.Seed)
 	g := topology.BackToBack()
-	f := fabric.New(eng, g, fabric.Config{LinkBandwidth: cfg.LinkBandwidth})
+	fcfg := fabric.Config{LinkBandwidth: cfg.LinkBandwidth}
+	eng := newEngine(cfg.Seed, g, fcfg)
+	f := fabric.New(eng, g, fcfg)
 	hosts := g.Hosts()
 
 	chunks := (cfg.TotalBytes + cfg.ChunkBytes - 1) / cfg.ChunkBytes

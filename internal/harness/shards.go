@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// engineShards is the process-wide engine shard count, set once from the
+// -shards flag before any sweep runs. It is an execution knob, not a
+// sweep axis: results are byte-identical at every value, so it never
+// appears in sweep.Spec or report keys.
+var engineShards = 1
+
+// SetShards selects the conservative-parallel shard count for every
+// engine the harness builds from now on. Values below 1 are clamped to
+// serial. Call once at startup (after flag.Parse), before running sweeps;
+// the sweep worker pool reads it concurrently.
+func SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	engineShards = n
+}
+
+// Shards reports the configured shard count.
+func Shards() int { return engineShards }
+
+// newEngine builds the engine for one simulation point: a plain serial
+// engine at -shards 1, otherwise the primary shard of a conservative
+// sharded group partitioned over the graph's hosts with lookahead taken
+// from the fabric config. Model construction and results are identical
+// either way.
+func newEngine(seed uint64, g *topology.Graph, cfg fabric.Config) *sim.Engine {
+	if engineShards == 1 {
+		return sim.NewEngine(seed)
+	}
+	_, eng := fabric.NewShardedEngine(seed, g, cfg, engineShards)
+	return eng
+}

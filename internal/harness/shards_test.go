@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// withShards runs fn under a temporary engine shard count, restoring the
+// serial default afterwards so other tests are unaffected.
+func withShards(t *testing.T, n int, fn func()) {
+	t.Helper()
+	SetShards(n)
+	defer SetShards(1)
+	fn()
+}
+
+// TestSweepsByteIdenticalAcrossShards is the harness half of the golden
+// byte-identity matrix: the resilience sweep (quiet + tenant goldens), the
+// FSDP training step and the Appendix-B concurrent-pair sweep must produce
+// byte-identical JSON at -shards 1, 2 and 8. The fabric stack runs
+// confined to the primary shard, so any divergence means the sharded
+// engine moved an event.
+func TestSweepsByteIdenticalAcrossShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep matrix is not -short sized")
+	}
+	capture := func() []byte {
+		var all []sweep.Record
+		resil, err := ResilienceRecords(
+			ResilienceGrid([]string{"mcast-allgather"}, []string{"quiet", "tenant-50load"}, 16, 1<<20, 3), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, resil...)
+		train, err := TrainRecords(
+			TrainGrid([]string{"fsdp-ring"}, []int{8}, []int{64 << 10}, nil, 9), 1, TrainConfig{Layers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, train...)
+		appb, err := AppBRecords([]int{8}, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, appb...)
+		var buf bytes.Buffer
+		if err := sweep.WriteJSON(&buf, sweep.Report{Name: "matrix", Records: all}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	var base []byte
+	withShards(t, 1, func() { base = capture() })
+	for _, n := range []int{2, 8} {
+		var got []byte
+		withShards(t, n, func() { got = capture() })
+		if !bytes.Equal(base, got) {
+			t.Fatalf("sweep JSON at -shards %d differs from serial", n)
+		}
+	}
+}
+
+// TestScenarioInjectorsAcrossShards drives fault-injection scenarios
+// (spine flapping and stragglers) through sharded engines, byte-comparing
+// against serial. Run under -race this also exercises the sharded group's
+// guard and delegation paths while injector timers rearm.
+func TestScenarioInjectorsAcrossShards(t *testing.T) {
+	grid := ResilienceGrid([]string{"ring-allgather"}, []string{"flap-spine", "straggler-1pct"}, 8, 64<<10, 5)
+	capture := func() []byte {
+		recs, err := ResilienceRecords(grid, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sweep.WriteJSON(&buf, sweep.Report{Name: "inject", Records: recs}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	var base []byte
+	withShards(t, 1, func() { base = capture() })
+	for _, n := range []int{2, 8} {
+		var got []byte
+		withShards(t, n, func() { got = capture() })
+		if !bytes.Equal(base, got) {
+			t.Fatalf("injector sweep JSON at -shards %d differs from serial", n)
+		}
+	}
+}

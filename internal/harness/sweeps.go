@@ -381,8 +381,8 @@ func appBKernel(s sweep.Spec) (sweep.Record, error) {
 	default:
 		return sweep.Record{}, fmt.Errorf("harness: unknown pair %q", s.Algorithm)
 	}
-	eng := sim.NewEngine(s.Seed)
 	g := topology.Star(s.Nodes)
+	eng := newEngine(s.Seed, g, fabric.Config{})
 	f := fabric.New(eng, g, fabric.Config{})
 	cl := cluster.New(f, cluster.Config{})
 	rep, err := workload.Run(cl, workload.Workload{Name: s.Algorithm, Jobs: []workload.Job{{
@@ -434,12 +434,13 @@ func CollTrace(s sweep.Spec, linkGbps float64) (string, error) {
 		s.Op = string(kind)
 	}
 	linkBw := linkGbps * 1e9 / 8
-	eng := sim.NewEngine(s.Seed)
 	g := topology.Testbed188()
 	if s.Nodes < 1 || s.Nodes > len(g.Hosts()) {
 		return "", fmt.Errorf("harness: nodes must be in [1,%d]", len(g.Hosts()))
 	}
-	f := fabric.New(eng, g, fabric.Config{LinkBandwidth: linkBw})
+	fcfg := fabric.Config{LinkBandwidth: linkBw}
+	eng := newEngine(s.Seed, g, fcfg)
+	f := fabric.New(eng, g, fcfg)
 	alg, err := registry.New(cluster.New(f, cluster.Config{}), s.Algorithm, registry.Options{
 		Hosts: g.Hosts()[:s.Nodes],
 		Core:  core.Config{Tracer: rec},
@@ -483,7 +484,6 @@ func OSUKernel(cfg OSUConfig) sweep.Func {
 			}
 			s.Op = string(kind)
 		}
-		eng := sim.NewEngine(s.Seed)
 		g := topology.Testbed188()
 		if s.Nodes < 1 || s.Nodes > len(g.Hosts()) {
 			return sweep.Record{}, fmt.Errorf("harness: nodes must be in [1,%d]", len(g.Hosts()))
@@ -492,10 +492,12 @@ func OSUKernel(cfg OSUConfig) sweep.Func {
 		if linkBw == 0 {
 			linkBw = 7e9
 		}
-		f := fabric.New(eng, g, fabric.Config{
+		fcfg := fabric.Config{
 			LinkBandwidth: linkBw,
 			ReorderJitter: sim.Time(cfg.JitterUS) * sim.Microsecond,
-		})
+		}
+		eng := newEngine(s.Seed, g, fcfg)
+		f := fabric.New(eng, g, fcfg)
 		alg, err := registry.New(cluster.New(f, cluster.Config{}), s.Algorithm, registry.Options{
 			Hosts: g.Hosts()[:s.Nodes],
 		})

@@ -65,8 +65,9 @@ func trainPoint(s sweep.Spec, cfg TrainConfig, tr *trace.Recorder) (*cluster.Clu
 	if hosts < 2 {
 		return nil, workload.Workload{}, fmt.Errorf("harness: workload %q needs at least 2 hosts", s.Workload)
 	}
-	eng := sim.NewEngine(s.Seed)
-	f := fabric.New(eng, topology.Star(hosts), fabric.Config{})
+	g := topology.Star(hosts)
+	eng := newEngine(s.Seed, g, fabric.Config{})
+	f := fabric.New(eng, g, fabric.Config{})
 	return cluster.New(f, cluster.Config{}), w, nil
 }
 

@@ -246,6 +246,15 @@ type Engine struct {
 	rng     *RNG
 	stopped bool
 
+	// Sharded-group membership (nil/0 for a standalone serial engine).
+	// group links the engine to its conservative-parallel group, shard is
+	// its index there, and sentFlag records that the current run slice
+	// performed a cross-shard Send (the group's degenerate single-shard
+	// fast path must yield back to the epoch loop at that point).
+	group    *Sharded
+	shard    int
+	sentFlag bool
+
 	// Near-future calendar: buckets of bucketWidth ns covering
 	// [base, base+windowSpan). cursor is the bucket being (or next to be)
 	// consumed; when opened, buckets[cursor][pos:] is the sorted remainder
@@ -275,12 +284,28 @@ type Engine struct {
 	Executed  uint64
 	Scheduled uint64
 	Recycled  uint64
+
+	// MailSent counts cross-shard Send calls issued by this engine. Like
+	// the counters above it is a deterministic count, never a rate.
+	MailSent uint64
 }
+
+// localSeqBand is the first sequence number handed to locally-scheduled
+// events. Sequence numbers below the band are reserved for cross-shard
+// mailbox deliveries, whose seq is the sender-supplied order key: at equal
+// firing times, every cross-shard event fires before every locally
+// scheduled one, and cross-shard events fire in ascending order-key order.
+// That rule is a pure function of (time, order) — independent of shard
+// count and of epoch-barrier placement — and is what makes sharded
+// execution reproduce the same bytes at any shard count. For a standalone
+// serial engine the band is invisible: all events live in the local band
+// and the (at, seq) order is exactly the pre-band order.
+const localSeqBand = uint64(1) << 63
 
 // NewEngine returns an engine with virtual time 0 and a deterministic RNG
 // seeded with seed.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{rng: NewRNG(seed)}
+	return &Engine{rng: NewRNG(seed), seq: localSeqBand}
 }
 
 // Now returns the current virtual time.
@@ -564,6 +589,17 @@ func (e *Engine) popEvent() *Event {
 // the count at Cancel time.
 func (e *Engine) Pending() int { return e.live }
 
+// PeekTime returns the firing time of the next live event. ok is false when
+// the queue is empty. Peeking may slide the calendar window but never
+// consumes or reorders events.
+func (e *Engine) PeekTime() (t Time, ok bool) {
+	ev := e.peekEvent()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
 // PoolSize returns the number of events currently parked on the free list
 // (diagnostics for allocation tests).
 func (e *Engine) PoolSize() int { return len(e.free) }
@@ -604,19 +640,51 @@ func (e *Engine) step() bool {
 
 // Run executes events until the queue is empty or Stop is called. It returns
 // the final virtual time.
+//
+// On the primary shard of a Sharded group, Run drives the whole group's
+// conservative epoch loop (all shards, all mailboxes); on a standalone
+// engine it is the plain serial loop. Calling Run on a non-primary shard
+// panics: only the group may advance member shards.
 func (e *Engine) Run() Time {
-	e.stopped = false
-	for !e.stopped && e.step() {
+	if g := e.group; g != nil {
+		e.assertPrimary("Run")
+		return g.Run()
 	}
+	e.stopped = false
+	e.runLocal()
 	return e.now
 }
 
 // RunUntil executes events with firing time <= deadline. Events scheduled
 // beyond the deadline remain queued. The clock is advanced to the deadline
 // if the simulation ran dry before reaching it, which keeps successive
-// RunUntil calls monotonic.
+// RunUntil calls monotonic. Like Run, it drives the whole group when called
+// on the primary shard of a Sharded group.
 func (e *Engine) RunUntil(deadline Time) Time {
+	if g := e.group; g != nil {
+		e.assertPrimary("RunUntil")
+		return g.RunUntil(deadline)
+	}
 	e.stopped = false
+	e.runLocalUntil(deadline)
+	return e.now
+}
+
+// RunFor advances the simulation by d nanoseconds of virtual time.
+func (e *Engine) RunFor(d Time) Time { return e.RunUntil(e.now + d) }
+
+// runLocal is the serial event loop over this engine's own queue, without
+// group delegation or stop-flag reset; Run and the sharded epoch machinery
+// share it.
+func (e *Engine) runLocal() {
+	for !e.stopped && e.step() {
+	}
+}
+
+// runLocalUntil executes local events with firing time <= deadline and
+// advances the clock to the deadline if the queue ran dry first. It is the
+// body of RunUntil and the per-shard epoch slice of the sharded loop.
+func (e *Engine) runLocalUntil(deadline Time) {
 	for !e.stopped {
 		next := e.peekEvent()
 		if next == nil || next.at > deadline {
@@ -627,8 +695,29 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	if e.now < deadline {
 		e.now = deadline
 	}
-	return e.now
 }
 
-// RunFor advances the simulation by d nanoseconds of virtual time.
-func (e *Engine) RunFor(d Time) Time { return e.RunUntil(e.now + d) }
+// runLocalUntilSend executes local events with firing time <= deadline,
+// yielding as soon as one of them performs a cross-shard Send. It backs the
+// sharded group's degenerate fast path: while only one shard holds events
+// and every mailbox is empty, that shard may run at full serial speed — no
+// epoch windows, no barriers — because nothing outside it can schedule
+// into it. The first Send re-creates cross-shard causality, so the loop
+// stops there (events after the sending one stay queued) and hands control
+// back to the conservative epoch loop. The clock is deliberately NOT
+// advanced to the deadline on a send-yield.
+func (e *Engine) runLocalUntilSend(deadline Time) {
+	e.sentFlag = false
+	for !e.stopped && !e.sentFlag {
+		next := e.peekEvent()
+		if next == nil || next.at > deadline {
+			// MaxTime means "no deadline" (a group Run): leave the clock
+			// at the last fired event, exactly like serial Run.
+			if deadline < MaxTime && e.now < deadline {
+				e.now = deadline
+			}
+			return
+		}
+		e.step()
+	}
+}

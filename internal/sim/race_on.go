@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in. The epoch
+// loop uses it to keep the real worker goroutines even on GOMAXPROCS=1, so
+// `go test -race` always exercises the concurrent barrier structure.
+const raceEnabled = true

@@ -1,0 +1,466 @@
+// Conservative (lookahead-based) parallel execution.
+//
+// A Sharded group runs N otherwise-independent Engines — one per shard of a
+// partitioned model — and advances them concurrently in epoch barriers. The
+// window of each epoch is the group's lookahead: the minimum virtual-time
+// distance any cross-shard interaction can cover (for a fabric partition,
+// the minimum cross-shard channel latency; see fabric.PartitionHosts). All
+// events inside [T, T+lookahead) are causally independent across shards, so
+// every shard may execute its slice of the window in parallel; anything a
+// shard schedules on another shard necessarily lands at or beyond the
+// window's end and is routed through a per-shard-pair SPSC mailbox, merged
+// into the destination engine at the next barrier.
+//
+// # Determinism contract
+//
+// Parallel execution is a pure throughput win: the same model produces the
+// same bytes at every shard count, including 1. Three rules make that hold:
+//
+//  1. Ownership. Every piece of mutable model state belongs to exactly one
+//     shard, and an event only touches state of the shard it runs on. All
+//     cross-owner scheduling — even between owners that happen to share a
+//     shard — goes through Engine.Send.
+//  2. Lookahead. Send requires the target time to be at least lookahead
+//     beyond the sender's clock; violating it panics (a conservative
+//     simulator that admitted such an event could miss causality).
+//  3. Order keys. A Send carries a caller-supplied order key. At equal
+//     firing times on one engine, cross-shard events fire before locally
+//     scheduled ones and among themselves in ascending key order — the
+//     key is the delivered event's sequence number in the engine's
+//     reserved low band (see localSeqBand). The rule is a pure function
+//     of (time, key): no shard count, worker schedule, or barrier
+//     placement can perturb it. Keys must be unique per (destination,
+//     time); senders typically pack (owner id, per-owner counter).
+//
+// A model confined entirely to one shard (today: the packet-level fabric
+// stack, whose channel and rank state is not yet partitioned) trivially
+// satisfies all three rules and runs through the degenerate fast path below
+// at full serial speed — `-shards N` on an unpartitioned model changes no
+// bytes and costs no throughput.
+//
+// # Epoch loop
+//
+// Worker goroutines are spawned once per Run and parked on a channel
+// between epochs — no per-epoch goroutine creation — and a single
+// sync.WaitGroup is reused across epochs, so an epoch costs one channel
+// send per active shard plus one Wait. Shards with no events inside the
+// window are not woken at all: an idle shard costs nothing rather than a
+// spin. Mailboxes are plain slices: each is written by exactly one shard
+// during an epoch and drained single-threaded at the barrier, with the
+// WaitGroup providing the happens-before edge, so the hot path stays
+// allocation-free once slice capacities have warmed up.
+//
+// Handles never cross shards: mailbox delivery materializes a pooled event
+// on the destination engine, so generation-checked cancellation keeps
+// working exactly as on a serial engine.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+)
+
+// message is one cross-shard event in flight inside a mailbox.
+type message struct {
+	at    Time
+	order uint64
+	h     Handler
+	arg0  uint64
+	arg1  int
+	obj   any
+}
+
+// mailbox is one src->dst lane. It is single-producer (the source shard's
+// epoch goroutine appends) and single-consumer (the barrier drains). The
+// pad keeps lanes written by different shards off each other's cache lines.
+type mailbox struct {
+	msgs []message
+	_    [40]byte
+}
+
+// Sharded is a conservative-parallel group of engines. Construct with
+// NewSharded; drive it with Run/RunUntil — either directly or through the
+// primary shard's Engine.Run, which delegates here.
+type Sharded struct {
+	shards    []*Engine
+	lookahead Time
+	mail      []mailbox // mail[src*len(shards)+dst]
+	batch     []message // barrier-scratch merge buffer, reused
+	work      []chan Time
+	wg        sync.WaitGroup
+	panics    []any
+	workersUp bool
+
+	// Epochs counts parallel epoch barriers executed (the degenerate
+	// single-shard fast path does not barrier and is not counted).
+	// Deterministic for a deterministic model and shard count.
+	Epochs uint64
+}
+
+// NewSharded builds a group of shards engines with the given lookahead
+// window. Shard 0 is the primary: it is seeded exactly like
+// NewEngine(seed), so a model built on Shard(0) alone reproduces a serial
+// engine bit for bit. Further shards get splitmix64-derived seeds.
+func NewSharded(seed uint64, shards int, lookahead Time) *Sharded {
+	if shards < 1 {
+		panic(fmt.Sprintf("sim: shard count %d must be >= 1", shards))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: lookahead %v must be positive", lookahead))
+	}
+	g := &Sharded{
+		shards:    make([]*Engine, shards),
+		lookahead: lookahead,
+		mail:      make([]mailbox, shards*shards),
+		work:      make([]chan Time, shards-1),
+		panics:    make([]any, shards),
+	}
+	for i := range g.shards {
+		s := seed
+		if i > 0 {
+			s = Splitmix64(seed ^ uint64(i)*0x9E3779B97F4A7C15)
+			if s == 0 {
+				s = 1
+			}
+		}
+		e := NewEngine(s)
+		e.group, e.shard = g, i
+		g.shards[i] = e
+	}
+	return g
+}
+
+// Shards returns the number of shards in the group.
+func (g *Sharded) Shards() int { return len(g.shards) }
+
+// Lookahead returns the group's epoch window.
+func (g *Sharded) Lookahead() Time { return g.lookahead }
+
+// Shard returns the engine owning shard i. Shard 0 is the primary.
+func (g *Sharded) Shard(i int) *Engine { return g.shards[i] }
+
+// Now returns the primary shard's clock.
+func (g *Sharded) Now() Time { return g.shards[0].now }
+
+// ExecutedTotal sums fired events across all shards (deterministic count).
+func (g *Sharded) ExecutedTotal() uint64 {
+	var n uint64
+	for _, e := range g.shards {
+		n += e.Executed
+	}
+	return n
+}
+
+// MailedTotal sums cross-shard messages sent across all shards.
+func (g *Sharded) MailedTotal() uint64 {
+	var n uint64
+	for _, e := range g.shards {
+		n += e.MailSent
+	}
+	return n
+}
+
+// Group returns the sharded group the engine belongs to, or nil for a
+// standalone serial engine.
+func (e *Engine) Group() *Sharded { return e.group }
+
+// ShardIndex returns the engine's shard index within its group (0 for a
+// standalone engine and for the primary shard).
+func (e *Engine) ShardIndex() int { return e.shard }
+
+func (e *Engine) assertPrimary(op string) {
+	if e.shard != 0 {
+		panic(fmt.Sprintf("sim: %s on shard %d; only the primary shard (0) may drive a Sharded group", op, e.shard))
+	}
+}
+
+// AssertShardable panics unless the engine can host subsystem state that is
+// not partitioned by shard: a standalone engine or the primary shard of a
+// group. Cross-host subsystems (cluster runtimes, workloads, scenario
+// injectors) call it at construction so that placing shared state on a
+// non-primary shard fails loudly instead of racing.
+func AssertShardable(e *Engine, subsystem string) {
+	if e.group != nil && e.shard != 0 {
+		panic(fmt.Sprintf("sim: %s holds cross-shard state and must be built on the primary shard, not shard %d", subsystem, e.shard))
+	}
+}
+
+// Send schedules a cross-shard event: h.OnEvent(dstEngine, ...) runs on
+// shard dst at absolute virtual time at. The event travels through the
+// src->dst mailbox and is merged into the destination engine at the next
+// epoch barrier; at must be at least the group lookahead beyond the
+// sender's clock, or the conservative window would be unsound (panics).
+//
+// order is the deterministic tiebreak at equal firing times (see the
+// package comment's determinism contract): lower keys fire first, every
+// cross-shard event fires before locally scheduled events at the same
+// time, and keys must be unique per (destination, time) and below 1<<63.
+// Sending to the local shard is allowed and goes through the same mailbox
+// path, so co-locating two owners on one shard changes no bytes.
+func (e *Engine) Send(dst int, at Time, order uint64, h Handler, arg0 uint64, arg1 int, obj any) {
+	g := e.group
+	if g == nil {
+		panic("sim: Send on an engine that is not part of a Sharded group")
+	}
+	if dst < 0 || dst >= len(g.shards) {
+		panic(fmt.Sprintf("sim: Send to shard %d of %d", dst, len(g.shards)))
+	}
+	if h == nil {
+		panic("sim: Send with nil handler")
+	}
+	if order >= localSeqBand {
+		panic(fmt.Sprintf("sim: Send order key %#x overflows the cross-shard band (must be < 1<<63)", order))
+	}
+	if at < e.now+g.lookahead {
+		panic(fmt.Sprintf("sim: Send at %v violates lookahead %v (now %v): conservative parallel execution cannot admit it", at, g.lookahead, e.now))
+	}
+	e.sentFlag = true
+	e.MailSent++
+	mb := &g.mail[e.shard*len(g.shards)+dst]
+	mb.msgs = append(mb.msgs, message{at: at, order: order, h: h, arg0: arg0, arg1: arg1, obj: obj})
+}
+
+// scheduleMail files one delivered cross-shard message into the engine's
+// queue. The event is pooled (like AtHandler) but its sequence number is
+// the sender's order key — the reserved low band that makes cross-shard
+// ordering shard-count-invariant.
+func (e *Engine) scheduleMail(m *message) {
+	if m.at < e.now {
+		panic(fmt.Sprintf("sim: mailbox delivery at %v before now %v", m.at, e.now))
+	}
+	ev := e.get()
+	ev.at = m.at
+	ev.seq = m.order
+	ev.h = m.h
+	ev.arg0 = m.arg0
+	ev.arg1 = m.arg1
+	ev.obj = m.obj
+	e.schedule(ev)
+}
+
+// Run executes the whole group until every shard's queue and every mailbox
+// is empty (or Stop is called on a shard). It returns the latest shard
+// clock, matching the serial Run contract for single-shard models.
+func (g *Sharded) Run() Time {
+	g.run(MaxTime)
+	var t Time
+	for _, e := range g.shards {
+		if e.now > t {
+			t = e.now
+		}
+	}
+	return t
+}
+
+// RunUntil executes group events with firing time <= deadline and advances
+// every shard's clock to the deadline, keeping successive calls monotonic
+// exactly like the serial engine.
+func (g *Sharded) RunUntil(deadline Time) Time {
+	g.run(deadline)
+	for _, e := range g.shards {
+		if e.now < deadline {
+			e.now = deadline
+		}
+	}
+	return g.shards[0].now
+}
+
+// RunFor advances the group by d nanoseconds of the primary shard's time.
+func (g *Sharded) RunFor(d Time) Time { return g.RunUntil(g.shards[0].now + d) }
+
+// run is the conservative epoch loop. deadline == MaxTime means "run dry".
+func (g *Sharded) run(deadline Time) {
+	for _, e := range g.shards {
+		e.stopped = false
+	}
+	defer g.stopWorkers()
+	for {
+		g.deliverAll()
+		// Find the global frontier and the set of populated shards.
+		var (
+			frontier Time = -1
+			active   int
+			only     *Engine
+		)
+		for _, e := range g.shards {
+			if e.stopped {
+				return
+			}
+			if t, ok := e.PeekTime(); ok {
+				if frontier < 0 || t < frontier {
+					frontier = t
+				}
+				active++
+				only = e
+			}
+		}
+		if frontier < 0 || frontier > deadline {
+			return
+		}
+		if active == 1 {
+			// Degenerate fast path: one populated shard, all mailboxes
+			// empty (deliverAll just ran) — nothing can schedule into any
+			// other shard, so run it serially until it either goes dry or
+			// re-establishes cross-shard causality with a Send.
+			only.runLocalUntilSend(deadline)
+			continue
+		}
+		// Conservative epoch: all events in [frontier, frontier+lookahead)
+		// are causally independent across shards.
+		end := frontier + g.lookahead
+		if end <= frontier { // overflow near MaxTime
+			end = MaxTime
+		}
+		runTo := end - 1
+		if runTo > deadline {
+			runTo = deadline
+		}
+		g.epoch(runTo)
+	}
+}
+
+// epoch advances every shard holding events at or before runTo, in
+// parallel, and barriers. Idle shards are not woken.
+func (g *Sharded) epoch(runTo Time) {
+	g.Epochs++
+	if runtime.GOMAXPROCS(0) == 1 && !raceEnabled {
+		// One proc: worker handoff buys no concurrency, only channel and
+		// scheduler overhead. Event order is schedule-independent by
+		// construction (the (time, seq) band rule), so running the active
+		// shards inline, in index order, yields byte-identical results.
+		for i, e := range g.shards {
+			if t, ok := e.PeekTime(); ok && t <= runTo {
+				g.runShardInline(i, e, runTo)
+			}
+		}
+		return
+	}
+	primary := false
+	for i, e := range g.shards {
+		t, ok := e.PeekTime()
+		if !ok || t > runTo {
+			continue
+		}
+		if i == 0 {
+			primary = true
+			continue
+		}
+		g.ensureWorkers()
+		g.wg.Add(1)
+		g.work[i-1] <- runTo
+	}
+	if primary {
+		g.shards[0].runLocalUntil(runTo)
+	}
+	g.wg.Wait()
+	for i, p := range g.panics {
+		if p != nil {
+			g.panics[i] = nil
+			panic(fmt.Sprintf("sim: shard %d: %v", i, p))
+		}
+	}
+}
+
+// runShardInline runs one shard's epoch window on the caller, attributing
+// panics to the shard exactly like the worker path does.
+func (g *Sharded) runShardInline(i int, e *Engine, runTo Time) {
+	if i > 0 {
+		defer func() {
+			if p := recover(); p != nil {
+				panic(fmt.Sprintf("sim: shard %d: %v", i, p))
+			}
+		}()
+	}
+	e.runLocalUntil(runTo)
+}
+
+// ensureWorkers spawns the parked per-shard worker goroutines (once per
+// Run; they are reused across every epoch of the run and released when the
+// run returns, so an idle Sharded pins no goroutines).
+func (g *Sharded) ensureWorkers() {
+	if g.workersUp {
+		return
+	}
+	g.workersUp = true
+	for i := 1; i < len(g.shards); i++ {
+		ch := make(chan Time, 1)
+		g.work[i-1] = ch
+		go g.worker(i, ch)
+	}
+}
+
+func (g *Sharded) stopWorkers() {
+	if !g.workersUp {
+		return
+	}
+	for _, ch := range g.work {
+		close(ch)
+	}
+	g.workersUp = false
+}
+
+// worker is the parked epoch goroutine for one non-primary shard.
+func (g *Sharded) worker(shard int, ch chan Time) {
+	for runTo := range ch {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					g.panics[shard] = p
+				}
+				g.wg.Done()
+			}()
+			g.shards[shard].runLocalUntil(runTo)
+		}()
+	}
+}
+
+// deliverAll drains every mailbox into its destination engine: per
+// destination, the pending messages are merged in (time, order) ascending
+// order and filed with the order key as the event sequence. Runs
+// single-threaded at the barrier; every slice it reads was last written
+// before the previous epoch's WaitGroup completed.
+func (g *Sharded) deliverAll() {
+	n := len(g.shards)
+	buf := g.batch[:0]
+	for dst := 0; dst < n; dst++ {
+		buf = buf[:0]
+		for src := 0; src < n; src++ {
+			mb := &g.mail[src*n+dst]
+			if len(mb.msgs) == 0 {
+				continue
+			}
+			buf = append(buf, mb.msgs...)
+			clear(mb.msgs)
+			mb.msgs = mb.msgs[:0]
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		slices.SortStableFunc(buf, func(a, b message) int {
+			switch {
+			case a.at != b.at:
+				if a.at < b.at {
+					return -1
+				}
+				return 1
+			case a.order != b.order:
+				if a.order < b.order {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+		e := g.shards[dst]
+		for i := range buf {
+			if i > 0 && buf[i].at == buf[i-1].at && buf[i].order == buf[i-1].order {
+				panic(fmt.Sprintf("sim: duplicate cross-shard (time, order) key (%v, %#x) to shard %d: order keys must be unique per destination and time", buf[i].at, buf[i].order, dst))
+			}
+			e.scheduleMail(&buf[i])
+		}
+		clear(buf)
+	}
+	g.batch = buf[:0]
+}

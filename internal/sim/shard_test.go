@@ -1,0 +1,359 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// pholdTopo is a PHOLD-style ownership-disciplined model: H hosts, each
+// processing a stream of events; every event schedules exactly one
+// successor, either on its own host (local AfterHandler) or on a
+// pseudo-randomly chosen peer (cross-shard Send with a (host, counter)
+// order key). Per-host digests fold in the firing time and payload of
+// every event, so any divergence in per-host event order or timing across
+// shard counts changes the digest.
+type pholdTopo struct {
+	grp     *Sharded
+	hosts   []*pholdHost
+	shardOf []int
+}
+
+type pholdHost struct {
+	topo      *pholdTopo
+	id        int
+	eng       *Engine
+	state     uint64
+	ctr       uint64
+	remaining int
+
+	count  uint64
+	digest uint64
+	lastAt Time
+}
+
+// Lookahead is large relative to the 0..4µs local delays so that each
+// epoch carries a healthy batch of local events per shard — the regime
+// conservative synchronization is designed for.
+const pholdLookahead = 16 * Microsecond
+
+func newPhold(seed uint64, hosts, shards, eventsPerHost int) *pholdTopo {
+	g := NewSharded(seed, shards, pholdLookahead)
+	t := &pholdTopo{grp: g, shardOf: make([]int, hosts)}
+	for i := 0; i < hosts; i++ {
+		sh := i * shards / hosts // contiguous blocks, like fabric.PartitionHosts
+		t.shardOf[i] = sh
+		t.hosts = append(t.hosts, &pholdHost{
+			topo: t, id: i, eng: g.Shard(sh),
+			state: uint64(i)*0x9E3779B97F4A7C15 + seed, remaining: eventsPerHost,
+		})
+	}
+	for _, h := range t.hosts {
+		// Kick off one token per host via the uniform cross-shard path so
+		// the initial order is shard-count-invariant by construction.
+		h.eng.Send(t.shardOf[h.id], pholdLookahead, uint64(h.id)<<32, h, uint64(h.id), 0, nil)
+	}
+	return t
+}
+
+func (h *pholdHost) OnEvent(e *Engine, _ Handle, arg0 uint64, _ int, _ any) {
+	now := e.Now()
+	h.count++
+	h.lastAt = now
+	h.digest = Splitmix64(h.digest ^ arg0 ^ uint64(now) ^ h.count)
+	if h.remaining == 0 {
+		return
+	}
+	h.remaining--
+	h.state = h.state*6364136223846793005 + 1442695040888963407
+	delay := Time(h.state >> 52) // 0..4095 ns
+	if h.state&7 == 0 {
+		dst := h.topo.hosts[(h.state>>16)%uint64(len(h.topo.hosts))]
+		h.ctr++
+		order := uint64(h.id)<<32 | h.ctr
+		e.Send(h.topo.shardOf[dst.id], now+pholdLookahead+delay, order, dst, order, 0, nil)
+		return
+	}
+	e.AfterHandler(delay, h, arg0+1, 0, nil)
+}
+
+type pholdResult struct {
+	final  Time
+	events uint64
+	hosts  []pholdHost // value copies: count/digest/lastAt
+}
+
+func runPhold(seed uint64, hosts, shards, eventsPerHost int) pholdResult {
+	t := newPhold(seed, hosts, shards, eventsPerHost)
+	final := t.grp.Run()
+	r := pholdResult{final: final, events: t.grp.ExecutedTotal()}
+	for _, h := range t.hosts {
+		r.hosts = append(r.hosts, pholdHost{count: h.count, digest: h.digest, lastAt: h.lastAt})
+	}
+	return r
+}
+
+func comparePhold(t *testing.T, want, got pholdResult, label string) {
+	t.Helper()
+	if got.final != want.final || got.events != want.events {
+		t.Fatalf("%s: final=%v events=%d, want final=%v events=%d",
+			label, got.final, got.events, want.final, want.events)
+	}
+	for i := range want.hosts {
+		w, g := want.hosts[i], got.hosts[i]
+		if w.count != g.count || w.digest != g.digest || w.lastAt != g.lastAt {
+			t.Fatalf("%s: host %d diverged: count %d/%d digest %#x/%#x lastAt %v/%v",
+				label, i, g.count, w.count, g.digest, w.digest, g.lastAt, w.lastAt)
+		}
+	}
+}
+
+// TestShardedShardCountInvariance is the core determinism claim: the same
+// ownership-disciplined model produces identical per-host event counts,
+// digests and times at every shard count, serial included.
+func TestShardedShardCountInvariance(t *testing.T) {
+	const hosts, events = 16, 1500
+	want := runPhold(7, hosts, 1, events)
+	// Tokens die when they land on an exhausted host, so the total is below
+	// hosts*events; just guard against a degenerate tiny run.
+	if want.events < uint64(hosts*events)/2 {
+		t.Fatalf("model too small: %d events", want.events)
+	}
+	for _, shards := range []int{2, 3, 4, 8, 16} {
+		comparePhold(t, want, runPhold(7, hosts, shards, events), fmt.Sprintf("shards=%d", shards))
+	}
+}
+
+// TestShardedRunUntilResume checks that chunked driving (RunUntil slices,
+// then Run) reproduces the one-shot run at any shard count.
+func TestShardedRunUntilResume(t *testing.T) {
+	const hosts, events = 8, 400
+	want := runPhold(3, hosts, 1, events)
+	for _, shards := range []int{1, 4} {
+		topo := newPhold(3, hosts, shards, events)
+		for i := 0; i < 5; i++ {
+			topo.grp.RunFor(50 * Microsecond)
+		}
+		final := topo.grp.Run()
+		got := pholdResult{final: final, events: topo.grp.ExecutedTotal()}
+		for _, h := range topo.hosts {
+			got.hosts = append(got.hosts, pholdHost{count: h.count, digest: h.digest, lastAt: h.lastAt})
+		}
+		// RunUntil advances clocks monotonically, so the final time of the
+		// chunked run can exceed the last event; compare per-host state.
+		got.final = want.final
+		comparePhold(t, want, got, fmt.Sprintf("resumed shards=%d", shards))
+	}
+}
+
+// TestShardedEpochLoopRace drives a heavily communicating model across 8
+// shards; under -race this exercises the worker barriers and mailbox
+// handoffs for unsynchronized access.
+func TestShardedEpochLoopRace(t *testing.T) {
+	want := runPhold(11, 32, 1, 300)
+	comparePhold(t, want, runPhold(11, 32, 8, 300), "shards=8")
+}
+
+// --- mailbox merge property -------------------------------------------------
+
+// recorder appends every (time, order) it sees, in firing order.
+type recorder struct {
+	seq [][2]uint64
+}
+
+func (r *recorder) OnEvent(e *Engine, _ Handle, arg0 uint64, _ int, _ any) {
+	r.seq = append(r.seq, [2]uint64{uint64(e.Now()), arg0})
+}
+
+// sprayer issues a deterministic pre-generated schedule of cross-shard
+// sends toward the recorder's shard, re-arming itself each step.
+type sprayer struct {
+	rec      *recorder
+	recShard int
+	msgs     []message // at is an offset from the send time
+	step     Time
+}
+
+func (s *sprayer) OnEvent(e *Engine, _ Handle, _ uint64, _ int, _ any) {
+	if len(s.msgs) == 0 {
+		return
+	}
+	m := s.msgs[0]
+	s.msgs = s.msgs[1:]
+	e.Send(s.recShard, e.Now()+m.at, m.order, s.rec, m.order, 0, nil)
+	e.AfterHandler(s.step, s, 0, 0, nil)
+}
+
+// TestShardedMergeOrderProperty is the randomized merge test: two shards
+// spray messages with random times and unique random-ish order keys at one
+// recorder; the observed firing order must equal the reference serial heap
+// order — all messages sorted by (time, order) — and must be identical
+// when the same schedule runs single-sharded.
+func TestShardedMergeOrderProperty(t *testing.T) {
+	const perShard = 2000
+	rng := rand.New(rand.NewSource(42))
+	build := func(shards int) *recorder {
+		rng := rand.New(rand.NewSource(99)) // same schedule for every shard count
+		g := NewSharded(5, shards, Microsecond)
+		rec := &recorder{}
+		for sh := 0; sh < 2; sh++ {
+			spr := &sprayer{rec: rec, recShard: 0, step: 500 * Nanosecond}
+			for i := 0; i < perShard; i++ {
+				spr.msgs = append(spr.msgs, message{
+					at:    Microsecond + Time(rng.Intn(8000)),
+					order: uint64(rng.Intn(1<<30))<<1 | uint64(sh), // unique across shards
+				})
+			}
+			src := sh % shards
+			g.Shard(src).Send(src, Microsecond, uint64(sh), spr, 0, 0, nil)
+		}
+		g.Run()
+		return rec
+	}
+	got := build(2)
+	if len(got.seq) != 2*perShard {
+		t.Fatalf("recorded %d events, want %d", len(got.seq), 2*perShard)
+	}
+	// Reference: strict (time, order) order among same-time ties. Full
+	// sorted-order equality across differing delivery barriers is checked
+	// by the serial-vs-sharded comparison below; here assert the invariant
+	// directly on ties, which the mailbox band must order by key.
+	for i := 1; i < len(got.seq); i++ {
+		a, b := got.seq[i-1], got.seq[i]
+		if a[0] > b[0] {
+			t.Fatalf("time went backwards at %d: %v after %v", i, b, a)
+		}
+		if a[0] == b[0] && a[1] >= b[1] {
+			t.Fatalf("tie at t=%d fired out of order-key order: %#x then %#x", a[0], a[1], b[1])
+		}
+	}
+	serial := build(1)
+	if len(serial.seq) != len(got.seq) {
+		t.Fatalf("serial recorded %d events, sharded %d", len(serial.seq), len(got.seq))
+	}
+	for i := range serial.seq {
+		if serial.seq[i] != got.seq[i] {
+			t.Fatalf("serial/sharded divergence at %d: %v vs %v", i, serial.seq[i], got.seq[i])
+		}
+	}
+	_ = rng
+}
+
+// --- guard rails ------------------------------------------------------------
+
+func expectPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatalf("expected panic containing %q", substr)
+		}
+		if s := fmt.Sprint(p); !contains(s, substr) {
+			t.Fatalf("panic %q does not contain %q", s, substr)
+		}
+	}()
+	fn()
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+type sendAt struct {
+	dst   int
+	delta Time
+	order uint64
+}
+
+func (s *sendAt) OnEvent(e *Engine, _ Handle, _ uint64, _ int, _ any) {
+	e.Send(s.dst, e.Now()+s.delta, s.order, s, 0, 0, nil)
+}
+
+// TestShardedLookaheadViolationPanics: admitting a cross-shard event inside
+// the epoch window would be unsound, so Send must refuse it loudly — both
+// on the primary shard and (propagated through the barrier) on a worker.
+func TestShardedLookaheadViolationPanics(t *testing.T) {
+	g := NewSharded(1, 2, Microsecond)
+	g.Shard(0).AtHandler(10, &sendAt{dst: 1, delta: Microsecond - 1, order: 1}, 0, 0, nil)
+	expectPanic(t, "violates lookahead", func() { g.Run() })
+
+	// Same violation raised on shard 1, mid-epoch, on a worker goroutine:
+	// the barrier must surface it on the caller with shard attribution.
+	g2 := NewSharded(1, 2, Microsecond)
+	// Populate both shards so the epoch loop (not the degenerate path) runs.
+	churn := &benchChurn{state: 9, remaining: 64}
+	g2.Shard(0).AtHandler(5, churn, 0, 0, nil)
+	g2.Shard(1).AtHandler(5, &sendAt{dst: 0, delta: 0, order: 2}, 0, 0, nil)
+	expectPanic(t, "shard 1", func() { g2.Run() })
+}
+
+func TestShardedSendGuards(t *testing.T) {
+	e := NewEngine(1)
+	expectPanic(t, "not part of a Sharded group", func() {
+		e.Send(0, Microsecond, 0, &benchChurn{}, 0, 0, nil)
+	})
+	g := NewSharded(1, 2, Microsecond)
+	expectPanic(t, "Send to shard", func() {
+		g.Shard(0).Send(5, Microsecond, 0, &benchChurn{}, 0, 0, nil)
+	})
+	expectPanic(t, "overflows the cross-shard band", func() {
+		g.Shard(0).Send(1, Microsecond, 1<<63, &benchChurn{}, 0, 0, nil)
+	})
+	expectPanic(t, "only the primary shard", func() { g.Shard(1).Run() })
+	expectPanic(t, "must be built on the primary shard", func() {
+		AssertShardable(g.Shard(1), "test subsystem")
+	})
+	AssertShardable(g.Shard(0), "test subsystem") // primary: fine
+	AssertShardable(e, "test subsystem")          // standalone: fine
+}
+
+// TestShardedDegeneratePath: a model confined to the primary shard runs
+// through the serial fast path — identical results to a plain engine and
+// zero epoch barriers, which is what keeps `-shards N` free for the
+// (unpartitioned) full fabric stack.
+func TestShardedDegeneratePath(t *testing.T) {
+	run := func(e *Engine) (Time, uint64) {
+		h := &benchChurn{state: 3, remaining: 4096}
+		e.AfterHandler(1, h, 0, 0, nil)
+		return e.Run(), e.Executed
+	}
+	wantT, wantN := run(NewEngine(21))
+	g := NewSharded(21, 8, 250*Nanosecond)
+	gotT, gotN := run(g.Shard(0)) // Engine.Run delegates to the group
+	if gotT != wantT || gotN != wantN {
+		t.Fatalf("sharded degenerate run diverged: t=%v n=%d, want t=%v n=%d", gotT, gotN, wantT, wantN)
+	}
+	if g.Epochs != 0 {
+		t.Fatalf("confined model crossed %d epoch barriers, want 0", g.Epochs)
+	}
+	if g.MailedTotal() != 0 {
+		t.Fatalf("confined model sent %d messages", g.MailedTotal())
+	}
+}
+
+// TestShardedMailBeforeLocalTie pins the band rule: at equal firing times
+// a delivered cross-shard event fires before a locally scheduled one.
+func TestShardedMailBeforeLocalTie(t *testing.T) {
+	g := NewSharded(1, 2, Microsecond)
+	rec := &recorder{}
+	const at = 4 * Microsecond
+	// Local event on shard 0 at `at`, scheduled first (lowest local seq).
+	g.Shard(0).AtHandler(at, rec, 0xAAAA, 0, nil)
+	// Cross event from shard 1 to shard 0 at the same time. Shard 1 also
+	// gets a private handler so both shards participate in the epoch (the
+	// recorder is owned by shard 0 and must not be touched from shard 1).
+	g.Shard(1).Send(0, at, 7, rec, 0xBBBB, 0, nil)
+	g.Shard(1).AtHandler(at, &benchChurn{state: 1, remaining: 1}, 0, 0, nil)
+	g.Run()
+	if len(rec.seq) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(rec.seq))
+	}
+	if rec.seq[0][1] != 0xBBBB {
+		t.Fatalf("cross-shard event fired after local tie: order %v", rec.seq)
+	}
+}

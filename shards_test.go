@@ -1,0 +1,45 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/verbs"
+)
+
+// TestGoldenDurationsAcrossShards runs the two registry goldens through
+// the facade at every shard count in the acceptance matrix. The collective
+// stack is built on the sharded group's primary engine, so the pinned
+// durations must not move by a nanosecond.
+func TestGoldenDurationsAcrossShards(t *testing.T) {
+	const (
+		goldenMcast = 722976 // ns (registry_test.go)
+		goldenRing  = 678008 // ns
+	)
+	run := func(shards int, algo string, opts AlgorithmOptions) int64 {
+		t.Helper()
+		sys, err := NewSystem(SystemConfig{Hosts: 16, HostsPerLeaf: 4, Seed: 3, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg, err := NewAlgorithm(sys, algo, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := alg.Run(Op{Kind: Allgather, Bytes: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(res.Duration())
+	}
+	for _, shards := range []int{1, 2, 8} {
+		if got := run(shards, "mcast-allgather", AlgorithmOptions{
+			Core: core.Config{Transport: verbs.UD, Subgroups: 4},
+		}); got != goldenMcast {
+			t.Errorf("shards=%d: mcast-allgather = %d ns, want %d", shards, got, goldenMcast)
+		}
+		if got := run(shards, "ring-allgather", AlgorithmOptions{}); got != goldenRing {
+			t.Errorf("shards=%d: ring-allgather = %d ns, want %d", shards, got, goldenRing)
+		}
+	}
+}

@@ -37,6 +37,9 @@ func main() {
 	metrics := flag.String("metric", "allocs_per_op", "comma-separated metrics to gate")
 	tol := flag.Float64("tol", 0.20, "relative regression tolerance for gated metrics")
 	slack := flag.Float64("slack", 1, "absolute slack added on top of the relative tolerance (absorbs benchmem rounding)")
+	minMetrics := flag.String("min-metric", "", "comma-separated metrics gated as floors: the run fails when a value drops below baseline*(1-min-tol)-min-slack (throughput metrics like events_per_sec_per_core)")
+	minTol := flag.Float64("min-tol", 0.20, "relative drop tolerance for -min-metric floors")
+	minSlack := flag.Float64("min-slack", 0, "absolute slack subtracted below the relative floor")
 	flag.Parse()
 	defer cli.StartCPUProfile()()
 
@@ -70,7 +73,11 @@ func main() {
 	if err != nil {
 		cli.Fatalf(1, "benchjson: %v", err)
 	}
-	if failed := gate(base, rep, strings.Split(*metrics, ","), *tol, *slack); failed {
+	failed := gate(base, rep, strings.Split(*metrics, ","), *tol, *slack)
+	if *minMetrics != "" {
+		failed = minGate(base, rep, strings.Split(*minMetrics, ","), *minTol, *minSlack) || failed
+	}
+	if failed {
 		os.Exit(1)
 	}
 }
@@ -121,7 +128,27 @@ func metricName(unit string) string {
 // name) and reports every regression beyond base*(1+tol)+slack. A
 // benchmark present in the baseline but missing from the current run also
 // fails: silently dropping a gated benchmark must not pass CI.
-func gate(base, cur sweep.Report, metrics []string, tol, slack float64) (failed bool) {
+func gate(base, cur sweep.Report, metrics []string, tol, slack float64) bool {
+	return gateBound(base, cur, metrics, func(bv, cv float64) (float64, bool) {
+		limit := bv*(1+tol) + slack
+		return limit, cv > limit
+	})
+}
+
+// minGate is the floor-direction counterpart of gate, for throughput-style
+// metrics where a DROP is the regression: fails when the current value
+// falls below base*(1-tol)-slack.
+func minGate(base, cur sweep.Report, metrics []string, tol, slack float64) bool {
+	return gateBound(base, cur, metrics, func(bv, cv float64) (float64, bool) {
+		limit := bv*(1-tol) - slack
+		return limit, cv < limit
+	})
+}
+
+// gateBound walks the baseline's benchmarks and applies a bound check to
+// each gated metric; exceed reports the limit and whether (base, current)
+// violates it.
+func gateBound(base, cur sweep.Report, metrics []string, exceed func(bv, cv float64) (float64, bool)) (failed bool) {
 	curByName := map[string]sweep.Record{}
 	for _, r := range cur.Records {
 		curByName[r.Spec.Algorithm] = r
@@ -147,7 +174,7 @@ func gate(base, cur sweep.Report, metrics []string, tol, slack float64) (failed 
 				failed = true
 				continue
 			}
-			if limit := bv*(1+tol) + slack; cv > limit {
+			if limit, bad := exceed(bv, cv); bad {
 				fmt.Printf("GATE FAIL %s %s: %.6g -> %.6g (limit %.6g)\n",
 					b.Spec.Algorithm, m, bv, cv, limit)
 				failed = true
