@@ -1,84 +1,16 @@
-// Command agbench regenerates the at-scale collective experiments on the
-// 188-node UCC-testbed model: Figure 10 (protocol critical-path breakdown,
-// median phase fractions across ranks) and Figure 11 (Broadcast/Allgather
-// throughput against P2P baselines). Each figure is a declarative grid
-// executed on the sweep engine's worker pool.
-//
-// Usage:
-//
-//	agbench -fig 10 [-nodes 4,16,64,188] [-sizes 4096,65536,1048576]
-//	agbench -fig 11 [-nodes 188] [-sizes ...] [-json fig11.json]
+// Deprecated: agbench is now a thin shim over `repro ag`. The flag
+// surface is unchanged; prefer the repro binary (and its declarative
+// manifests under manifests/) for new work.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
-	"strconv"
-	"strings"
-
-	"repro/internal/cli"
-	"repro/internal/harness"
-	"repro/internal/sweep"
+	"repro/internal/command"
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure to regenerate (10 or 11)")
-	nodesFlag := flag.String("nodes", "", "comma-separated node counts (fig 10) or single count (fig 11)")
-	sizesFlag := flag.String("sizes", "", "comma-separated message sizes in bytes")
-	jsonPath := flag.String("json", "", "write sweep records as JSON to this path")
-	csvPath := flag.String("csv", "", "write sweep records as CSV to this path")
-	flag.Parse()
-	defer cli.StartCPUProfile()()
-	harness.SetShards(cli.Shards())
-
-	var recs []sweep.Record
-	var err error
-	switch *fig {
-	case 10:
-		nodes := parseInts(*nodesFlag, []int{4, 16, 64, 188})
-		sizes := parseInts(*sizesFlag, []int{4096, 65536, 1 << 20})
-		fmt.Println("== Figure 10: Allgather critical-path breakdown (median across ranks) ==")
-		recs, err = harness.Fig10Records(nodes, sizes)
-	case 11:
-		nodes := parseInts(*nodesFlag, []int{188})
-		sizes := parseInts(*sizesFlag, []int{16 << 10, 64 << 10, 256 << 10, 1 << 20})
-		fmt.Printf("== Figure 11: per-rank receive throughput at %d nodes (56 Gbit/s links) ==\n", nodes[0])
-		recs, err = harness.Fig11Records(nodes[0], sizes)
-	default:
-		flag.Usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		cli.Fatalf(1, "agbench: %v", err)
-	}
-	if err := sweep.WriteTable(os.Stdout, recs); err != nil {
-		cli.Fatalf(1, "agbench: %v", err)
-	}
-	switch *fig {
-	case 10:
-		fmt.Println("paper: from 16 nodes on, 99% of progress-path time is the multicast datapath.")
-	case 11:
-		fmt.Println("paper: mcast broadcast beats k-nomial/binary tree; mcast allgather matches ring at 128-256 KiB.")
-	}
-	name := fmt.Sprintf("agbench-fig%d", *fig)
-	if err := sweep.WriteFiles(sweep.Report{Name: name, Records: recs}, *jsonPath, *csvPath); err != nil {
-		cli.Fatalf(1, "agbench: %v", err)
-	}
-}
-
-func parseInts(s string, def []int) []int {
-	if s == "" {
-		return def
-	}
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			cli.Fatalf(2, "agbench: bad integer %q", part)
-		}
-		out = append(out, v)
-	}
-	return out
+	fmt.Fprintln(os.Stderr, "# agbench is deprecated; use: repro ag (or repro run <manifest>)")
+	os.Exit(command.Run(append([]string{"ag"}, os.Args[1:]...), os.Stdout, os.Stderr))
 }

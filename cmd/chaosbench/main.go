@@ -1,100 +1,16 @@
-// Command chaosbench measures collectives on a noisy fabric: it expands an
-// algorithm × scenario grid on the sweep engine's worker pool, runs every
-// point on the 188-node testbed model with the named perturbation scenario
-// armed (internal/scenario: link flaps, degradations, drop hotspots,
-// stragglers, incast bursts, multi-tenant background flows), and reports
-// each point's slowdown relative to the quiet fabric plus the recovery work
-// the scenario forced (fabric drops, slow-path repairs, retransmissions,
-// background-traffic volume).
-//
-// Usage:
-//
-//	chaosbench [-algos mcast-allgather,ring-allgather] [-scenarios all]
-//	           [-nodes 32] [-msg 65536] [-seed 7] [-workers 0]
-//	           [-json chaos.json] [-csv chaos.csv]
-//
-// -scenarios takes a comma list of preset names or "all"; "quiet" is kept
-// in the list automatically so slowdown_vs_quiet always has its anchor.
-// Like every binary in this repository the output is deterministic: the
-// same flags produce byte-identical -json files at any -workers count.
-//
-// Invalid parameters exit with status 2; simulation failures with 1.
+// Deprecated: chaosbench is now a thin shim over `repro chaos`. The flag
+// surface is unchanged; prefer the repro binary (and its declarative
+// manifests under manifests/) for new work.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
-	"slices"
 
-	"repro/internal/cli"
-	"repro/internal/harness"
-	"repro/internal/registry"
-	"repro/internal/scenario"
-	"repro/internal/sweep"
+	"repro/internal/command"
 )
 
 func main() {
-	algosFlag := flag.String("algos", "mcast-allgather,ring-allgather",
-		"comma list of registry algorithms to perturb")
-	scenariosFlag := flag.String("scenarios", "all",
-		"comma list of scenario presets, or \"all\"")
-	nodes := flag.Int("nodes", 32, "participating nodes (2..188)")
-	msg := flag.Int("msg", 64<<10, "message size in bytes (> 0)")
-	seed := flag.Uint64("seed", 7, "base sweep seed (per-point seeds derive from it)")
-	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
-	jsonPath := flag.String("json", "", "write sweep records as JSON to this path")
-	csvPath := flag.String("csv", "", "write sweep records as CSV to this path")
-	flag.Parse()
-	defer cli.StartCPUProfile()()
-	harness.SetShards(cli.Shards())
-
-	if *nodes < 2 || *nodes > 188 {
-		cli.Fatalf(2, "chaosbench: nodes must be in [2,188], got %d", *nodes)
-	}
-	if *msg <= 0 {
-		cli.Fatalf(2, "chaosbench: msg must be positive, got %d", *msg)
-	}
-	algos := cli.SplitList(*algosFlag)
-	if len(algos) == 0 {
-		cli.Fatalf(2, "chaosbench: no algorithms given")
-	}
-	for _, a := range algos {
-		if !slices.Contains(registry.Names(), a) {
-			cli.Fatalf(2, "chaosbench: unknown algorithm %q (have %v)", a, registry.Names())
-		}
-	}
-	var scenarios []string
-	if *scenariosFlag == "all" {
-		scenarios = scenario.Names()
-	} else {
-		scenarios = cli.SplitList(*scenariosFlag)
-		for _, s := range scenarios {
-			if _, err := scenario.New(s); err != nil {
-				cli.Fatalf(2, "chaosbench: %v", err)
-			}
-		}
-	}
-	if len(scenarios) == 0 {
-		cli.Fatalf(2, "chaosbench: no scenarios given")
-	}
-	if !slices.Contains(scenarios, scenario.Quiet) {
-		// slowdown_vs_quiet needs its anchor point.
-		scenarios = append([]string{scenario.Quiet}, scenarios...)
-	}
-
-	grid := harness.ResilienceGrid(algos, scenarios, *nodes, *msg, *seed)
-	fmt.Printf("== chaosbench: %d algorithms x %d scenarios, %d nodes, %d B messages ==\n",
-		len(algos), len(scenarios), *nodes, *msg)
-	recs, err := harness.ResilienceRecords(grid, *workers)
-	if err != nil {
-		cli.Fatalf(1, "chaosbench: %v", err)
-	}
-	if err := sweep.WriteTable(os.Stdout, recs); err != nil {
-		cli.Fatalf(1, "chaosbench: %v", err)
-	}
-	fmt.Println("slowdown_vs_quiet is each point's duration over its quiet sibling's.")
-	if err := sweep.WriteFiles(sweep.Report{Name: "chaosbench", Records: recs}, *jsonPath, *csvPath); err != nil {
-		cli.Fatalf(1, "chaosbench: %v", err)
-	}
+	fmt.Fprintln(os.Stderr, "# chaosbench is deprecated; use: repro chaos (or repro run <manifest>)")
+	os.Exit(command.Run(append([]string{"chaos"}, os.Args[1:]...), os.Stdout, os.Stderr))
 }

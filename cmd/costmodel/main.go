@@ -1,149 +1,16 @@
-// Command costmodel regenerates the paper's analytic artifacts: Figure 2
-// (theoretical traffic savings on a 1024-node radix-32 fat-tree), Figure 7
-// (bitmap and receive-buffer sizing vs PSN bits) and the Appendix B
-// speedup of {multicast Allgather + INC Reduce-Scatter}, both from the
-// closed-form model and measured on the simulator. Every artifact is
-// produced as sweep records — the closed-form figures through pure-model
-// kernels, Appendix B on the sweep engine's worker pool.
-//
-// Usage:
-//
-//	costmodel -fig 2|7
-//	costmodel -speedup
-//	costmodel -all -json costmodel.json
+// Deprecated: costmodel is now a thin shim over `repro cost`. The flag
+// surface is unchanged; prefer the repro binary (and its declarative
+// manifests under manifests/) for new work.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/cli"
-	"repro/internal/harness"
-	"repro/internal/model"
-	"repro/internal/sweep"
+	"repro/internal/command"
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure to regenerate (2 or 7)")
-	speedup := flag.Bool("speedup", false, "Appendix B concurrent {AG,RS} study")
-	economics := flag.Bool("economics", false, "§VII SmartNIC offloading economics")
-	all := flag.Bool("all", false, "run everything")
-	jsonPath := flag.String("json", "", "write all produced sweep records as JSON to this path")
-	csvPath := flag.String("csv", "", "write all produced sweep records as CSV to this path")
-	flag.Parse()
-	defer cli.StartCPUProfile()()
-	harness.SetShards(cli.Shards())
-	if !*all && *fig == 0 && !*speedup && !*economics {
-		flag.Usage()
-		os.Exit(2)
-	}
-	if *fig != 0 && *fig != 2 && *fig != 7 {
-		cli.Fatalf(2, "costmodel: unknown figure %d (have 2 and 7)", *fig)
-	}
-
-	var produced []sweep.Record
-	emit := func(header string, note string, recs []sweep.Record) {
-		fmt.Println("\n" + header)
-		if err := sweep.WriteTable(os.Stdout, recs); err != nil {
-			cli.Fatalf(1, "costmodel: %v", err)
-		}
-		fmt.Println(note)
-		produced = append(produced, recs...)
-	}
-
-	if *all || *fig == 2 {
-		recs, err := fig2Records()
-		if err != nil {
-			cli.Fatalf(1, "costmodel: %v", err)
-		}
-		emit("== Figure 2: theoretical Allgather traffic, 1024 nodes, radix-32 fat-tree ==",
-			"paper: multicast-based Allgather halves total network traffic at scale.", recs)
-	}
-	if *all || *fig == 7 {
-		emit("== Figure 7: bitmap and receive-buffer sizes vs PSN bits (4 KiB chunks) ==",
-			fmt.Sprintf("LLC-limited receive buffer: %.1f GB (paper: ~50 GB); communicators fitting the LLC: %d (paper: >16).",
-				model.MaxBufferFittingLLC(4096)/1e9,
-				model.CommunicatorsFittingLLC(64<<10, 16<<10)),
-			fig7Records())
-	}
-	if *all || *speedup {
-		recs, err := harness.AppBRecords([]int{2, 4, 8, 16}, 1<<20)
-		if err != nil {
-			cli.Fatalf(1, "costmodel: %v", err)
-		}
-		emit("== Appendix B: concurrent {Allgather, Reduce-Scatter} span (model_speedup: 2 - 2/P) ==",
-			"paper: concurrent collectives speed up by up to 2x at scale (ring-pair span / inc-pair span).", recs)
-	}
-	if *all || *economics {
-		emit("== §VII: economics of SmartNIC offloading (SuperPOD node) ==",
-			"paper: NICs ~2.5x lower cost and ~7x lower energy than the CPUs.", econRecords())
-	}
-	if err := sweep.WriteFiles(sweep.Report{Name: "costmodel", Records: produced}, *jsonPath, *csvPath); err != nil {
-		cli.Fatalf(1, "costmodel: %v", err)
-	}
-}
-
-// fig2Records evaluates the closed-form traffic model over a send-buffer
-// grid — an analytic sweep, no simulation engine involved.
-func fig2Records() ([]sweep.Record, error) {
-	g, err := model.Fig2Cluster()
-	if err != nil {
-		return nil, err
-	}
-	m, err := model.NewTrafficModel(g)
-	if err != nil {
-		return nil, err
-	}
-	grid := sweep.Grid{MsgBytes: []int{64 << 10, 256 << 10, 1 << 20, 4 << 20}}
-	return sweep.RunGrid(grid, 0, func(s sweep.Spec) (sweep.Record, error) {
-		return sweep.Record{Spec: s, Metrics: map[string]float64{
-			"ring_ag_bytes":   m.RingAllgatherBytes(s.MsgBytes),
-			"linear_ag_bytes": m.LinearAllgatherBytes(s.MsgBytes),
-			"mcast_ag_bytes":  m.McastAllgatherBytes(s.MsgBytes),
-			"savings":         m.Savings(s.MsgBytes),
-		}}, nil
-	})
-}
-
-// fig7Records renders the PSN-bits sizing model; psn_bits is the swept
-// quantity, carried as a metric column.
-func fig7Records() []sweep.Record {
-	var recs []sweep.Record
-	for i, p := range model.BitmapModel(16, 28, 4096) {
-		fits := 0.0
-		if p.FitsDPALLC {
-			fits = 1
-		}
-		recs = append(recs, sweep.Record{
-			Spec: sweep.Spec{ChunkSize: 4096, Index: i},
-			Metrics: map[string]float64{
-				"psn_bits":        float64(p.PSNBits),
-				"max_recv_buffer": p.MaxRecvBuffer,
-				"bitmap_bytes":    p.BitmapBytes,
-				"fits_dpa_llc":    fits,
-			},
-		})
-	}
-	return recs
-}
-
-// econRecords reports the §VII cost/power comparison as one record.
-func econRecords() []sweep.Record {
-	in := model.SuperPODNode()
-	r := in.Economics()
-	return []sweep.Record{{
-		Spec: sweep.Spec{Algorithm: "superpod-node"},
-		Metrics: map[string]float64{
-			"links":           float64(in.Links),
-			"link_gbps":       in.LinkGbps,
-			"cores_needed":    r.CoresNeeded,
-			"cpu_cost_usd":    r.CPUCost,
-			"cpu_watts":       r.CPUWatts,
-			"nic_cost_usd":    r.NICCost,
-			"nic_watts":       r.NICWatts,
-			"cost_advantage":  r.CostAdvantage,
-			"power_advantage": r.PowerAdvantage,
-		},
-	}}
+	fmt.Fprintln(os.Stderr, "# costmodel is deprecated; use: repro cost (or repro run <manifest>)")
+	os.Exit(command.Run(append([]string{"cost"}, os.Args[1:]...), os.Stdout, os.Stderr))
 }

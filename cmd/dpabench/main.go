@@ -1,104 +1,16 @@
-// Command dpabench regenerates the SmartNIC-offloading experiments of the
-// paper's evaluation: Figure 5 (single CPU core vs single DPA core),
-// Table I (single-thread datapath metrics), Figures 13/14 (DPA thread
-// scaling — one sweep; Figure 14 is its link-share column), Figure 15 (UC
-// multi-packet chunks) and Figure 16 (scaling to 1.6 Tbit/s links). Every
-// experiment is a declarative grid executed on the sweep engine's worker
-// pool.
-//
-// Usage:
-//
-//	dpabench -fig 5|13|14|15|16
-//	dpabench -table 1
-//	dpabench -all -json dpabench.json
+// Deprecated: dpabench is now a thin shim over `repro dpa`. The flag
+// surface is unchanged; prefer the repro binary (and its declarative
+// manifests under manifests/) for new work.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/cli"
-	"repro/internal/harness"
-	"repro/internal/sweep"
+	"repro/internal/command"
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure to regenerate (5, 13, 14, 15, 16)")
-	table := flag.Int("table", 0, "table to regenerate (1)")
-	all := flag.Bool("all", false, "run every DPA experiment")
-	jsonPath := flag.String("json", "", "write all produced sweep records as JSON to this path")
-	csvPath := flag.String("csv", "", "write all produced sweep records as CSV to this path")
-	flag.Parse()
-	defer cli.StartCPUProfile()()
-	harness.SetShards(cli.Shards())
-
-	if !*all && *fig == 0 && *table == 0 {
-		flag.Usage()
-		os.Exit(2)
-	}
-	switch *fig {
-	case 0, 5, 13, 14, 15, 16:
-	default:
-		cli.Fatalf(2, "dpabench: unknown figure %d (have 5, 13, 14, 15, 16)", *fig)
-	}
-	if *table != 0 && *table != 1 {
-		cli.Fatalf(2, "dpabench: unknown table %d (have 1)", *table)
-	}
-
-	type experiment struct {
-		enabled bool
-		header  string
-		note    string
-		run     func() ([]sweep.Record, error)
-	}
-	experiments := []experiment{
-		{*all || *fig == 5,
-			"== Figure 5: single-threaded CPU vs single-core DPA UD datapath (200 Gbit/s link) ==",
-			"paper: one CPU core sustains ~1/2-2/3 of 200 Gbit/s; one DPA core reaches peak.",
-			func() ([]sweep.Record, error) {
-				return harness.Fig5Records([]int{16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 8 << 20})
-			}},
-		{*all || *table == 1,
-			"== Table I: single DPA thread, 8 MiB buffer, 4 KiB chunks ==",
-			"paper: UC 11.9 GiB/s, 66 instr, 598 cycles, IPC 0.11; UD 5.2 GiB/s, 113 instr, 1084 cycles, IPC 0.10.",
-			harness.Table1Records},
-		{*all || *fig == 13 || *fig == 14,
-			"== Figures 13/14: DPA thread scaling, 8 MiB receive buffer, 4 KiB chunks (last row: CPU baseline) ==",
-			"paper: UC reaches full throughput with 4 threads; UD needs 8-16 (1/256 of DPA capacity: UC 1/2, UD 1/5 of peak).",
-			func() ([]sweep.Record, error) { return harness.Fig13Records([]int{1, 2, 4, 8, 16}) }},
-		{*all || *fig == 15,
-			"== Figure 15: UC throughput vs multi-packet chunk size (8 MiB buffer) ==",
-			"paper: with larger chunks DPA sustains line rate with fewer threads.",
-			func() ([]sweep.Record, error) {
-				return harness.Fig15Records(
-					[]int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10},
-					[]int{1, 2, 4})
-			}},
-		{*all || *fig == 16,
-			"== Figure 16: sustained 64 B chunk processing rate vs DPA threads (link_share: x 1.6 Tbit/s target) ==",
-			fmt.Sprintf("target: %.1f Mchunks/s (1.6 Tbit/s at 4 KiB MTU). paper: 128 threads sustain it.",
-				harness.Tbit16Target/1e6),
-			func() ([]sweep.Record, error) { return harness.Fig16Records([]int{1, 2, 4, 8, 16, 32, 64, 128}) }},
-	}
-
-	var produced []sweep.Record
-	for _, e := range experiments {
-		if !e.enabled {
-			continue
-		}
-		recs, err := e.run()
-		if err != nil {
-			cli.Fatalf(1, "dpabench: %v", err)
-		}
-		fmt.Println("\n" + e.header)
-		if err := sweep.WriteTable(os.Stdout, recs); err != nil {
-			cli.Fatalf(1, "dpabench: %v", err)
-		}
-		fmt.Println(e.note)
-		produced = append(produced, recs...)
-	}
-	if err := sweep.WriteFiles(sweep.Report{Name: "dpabench", Records: produced}, *jsonPath, *csvPath); err != nil {
-		cli.Fatalf(1, "dpabench: %v", err)
-	}
+	fmt.Fprintln(os.Stderr, "# dpabench is deprecated; use: repro dpa (or repro run <manifest>)")
+	os.Exit(command.Run(append([]string{"dpa"}, os.Args[1:]...), os.Stdout, os.Stderr))
 }

@@ -1,157 +1,16 @@
-// Command osu is an OSU-microbenchmark-style driver for the simulated
-// collectives, mirroring the measurement methodology of the paper's
-// evaluation (§VI-A): warm-up iterations excluded, per-rank timings over
-// many iterations, medians with nonparametric confidence intervals
-// (Hoefler–Belli guidelines).
-//
-// Every algorithm is dispatched through the unified registry: the -op and
-// -algo flags join into a registry name (e.g. -op allgather -algo mcast
-// runs "mcast-allgather"). The size sweep is a declarative grid executed on
-// the sweep engine's worker pool, so sizes measure in parallel; each grid
-// point builds its own warm communicator and excludes its warm-up
-// iterations.
-//
-// Usage:
-//
-//	osu -op allgather -algo mcast -nodes 32 -sizes 4096:1048576 -iters 20
-//	osu -op broadcast -algo knomial -nodes 188 -json bench.json
-//	osu -op allreduce -algo ring -nodes 64 -compare baseline.json -tol 0.05
-//
-// Operations and algorithms: allgather (mcast, ring, linear, rd, bruck),
-// broadcast (mcast, knomial, binary, chain), reduce-scatter (ring, inc),
-// allreduce (ring, mcast — the composed ring Reduce-Scatter + Allgather).
-//
-// -json writes the structured sweep records; -compare diffs them against a
-// previously written baseline and exits 1 if any metric moved more than
-// -tol (relative).
+// Deprecated: osu is now a thin shim over `repro osu`. The flag
+// surface is unchanged; prefer the repro binary (and its declarative
+// manifests under manifests/) for new work.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
-	"slices"
-	"strconv"
-	"strings"
-
-	"repro/internal/cli"
-	"repro/internal/harness"
-	"repro/internal/registry"
-	"repro/internal/sweep"
+	"repro/internal/command"
 )
 
 func main() {
-	opFlag := flag.String("op", "allgather", "collective: allgather, broadcast, reduce-scatter or allreduce")
-	algo := flag.String("algo", "mcast", "algorithm family (joined with -op into a registry name, e.g. mcast-allgather)")
-	nodes := flag.Int("nodes", 32, "participating nodes (<=188)")
-	sizesFlag := flag.String("sizes", "4096:1048576", "size range min:max (doubling) or comma list")
-	iters := flag.Int("iters", 10, "measured iterations per size")
-	warmup := flag.Int("warmup", 2, "warm-up iterations per size (excluded)")
-	linkGbps := flag.Float64("link", 56, "link bandwidth in Gbit/s (testbed: 56)")
-	jitter := flag.Int("jitter", 0, "per-delivery network noise in microseconds (enables run-to-run variability)")
-	seed := flag.Uint64("seed", 1, "base sweep seed (per-point seeds derive from it)")
-	jsonPath := flag.String("json", "", "write sweep records as JSON to this path")
-	csvPath := flag.String("csv", "", "write sweep records as CSV to this path")
-	comparePath := flag.String("compare", "", "baseline BENCH_*.json to diff the records against")
-	tol := flag.Float64("tol", 0.05, "relative tolerance for -compare")
-	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
-	cli.RegisterTrace()
-	flag.Parse()
-	defer cli.StartCPUProfile()()
-	harness.SetShards(cli.Shards())
-
-	sizes, err := parseSizes(*sizesFlag)
-	if err != nil {
-		cli.Fatalf(2, "osu: %v", err)
-	}
-	if *nodes < 1 || *nodes > 188 {
-		cli.Fatalf(2, "osu: nodes must be in [1,188]")
-	}
-	if *iters < 1 || *warmup < 0 {
-		cli.Fatalf(2, "osu: iters must be >= 1 and warmup >= 0")
-	}
-	name := *algo + "-" + *opFlag
-	if !slices.Contains(registry.Names(), name) {
-		cli.Fatalf(2, "osu: unknown algorithm %q (have %v)", name, registry.Names())
-	}
-
-	grid := sweep.Grid{
-		Algorithms: []string{name},
-		Ops:        []string{*opFlag},
-		Nodes:      []int{*nodes},
-		MsgBytes:   sizes,
-		Seed:       *seed,
-	}
-	recs, err := sweep.RunGrid(grid, *workers, harness.OSUKernel(harness.OSUConfig{
-		Iters: *iters, Warmup: *warmup, LinkGbps: *linkGbps, JitterUS: *jitter,
-	}))
-	if err != nil {
-		cli.Fatalf(1, "osu: %v", err)
-	}
-
-	rep := sweep.Report{Name: "osu-" + name, Records: recs}
-	if err := sweep.WriteFiles(rep, *jsonPath, *csvPath); err != nil {
-		cli.Fatalf(1, "osu: %v", err)
-	}
-	fmt.Printf("# OSU-style %s / %s, %d nodes, %.0f Gbit/s links, %d iters (+%d warmup)\n",
-		*opFlag, name, *nodes, *linkGbps, *iters, *warmup)
-	if err := sweep.WriteTable(os.Stdout, recs); err != nil {
-		cli.Fatalf(1, "osu: %v", err)
-	}
-
-	if cli.TracePath() != "" {
-		// Re-run the last (largest) size point with a protocol tracer
-		// attached; the traced run is independent of the records above.
-		specs := grid.Expand()
-		timeline, err := harness.CollTrace(specs[len(specs)-1], *linkGbps)
-		if err != nil {
-			cli.Fatalf(1, "osu: trace: %v", err)
-		}
-		cli.WriteTrace(timeline)
-	}
-
-	if *comparePath != "" {
-		base, err := sweep.LoadFile(*comparePath)
-		if err != nil {
-			cli.Fatalf(1, "osu: %v", err)
-		}
-		deltas := sweep.Compare(base, rep, *tol)
-		fmt.Printf("# vs %s (tol %.0f%%):\n", *comparePath, *tol*100)
-		sweep.WriteDeltas(os.Stdout, deltas)
-		if len(deltas) > 0 {
-			os.Exit(1)
-		}
-	}
-}
-
-func parseSizes(s string) ([]int, error) {
-	if strings.Contains(s, ":") {
-		parts := strings.SplitN(s, ":", 2)
-		lo, err := strconv.Atoi(parts[0])
-		if err != nil {
-			return nil, err
-		}
-		hi, err := strconv.Atoi(parts[1])
-		if err != nil {
-			return nil, err
-		}
-		if lo <= 0 || hi < lo {
-			return nil, fmt.Errorf("bad size range %q", s)
-		}
-		var out []int
-		for n := lo; n <= hi; n *= 2 {
-			out = append(out, n)
-		}
-		return out, nil
-	}
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, n)
-	}
-	return out, nil
+	fmt.Fprintln(os.Stderr, "# osu is deprecated; use: repro osu (or repro run <manifest>)")
+	os.Exit(command.Run(append([]string{"osu"}, os.Args[1:]...), os.Stdout, os.Stderr))
 }

@@ -1,0 +1,16 @@
+// repro is the single entry point for every experiment in this
+// repository: manifest-driven runs (`repro run manifests/pr.json`),
+// manifest linting (`repro validate`), and flag-compatible shims for the
+// seven historical benchmark binaries (`repro osu`, `repro chaos`, ...).
+// Run `repro help` for the full subcommand list.
+package main
+
+import (
+	"os"
+
+	"repro/internal/command"
+)
+
+func main() {
+	os.Exit(command.Run(os.Args[1:], os.Stdout, os.Stderr))
+}

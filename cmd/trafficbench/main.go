@@ -1,60 +1,16 @@
-// Command trafficbench regenerates Figure 12: traffic totals across all
-// switch ports of the 188-node fat-tree while running Broadcast and
-// Allgather with multicast and point-to-point algorithms (64 KiB messages,
-// several iterations, matching the paper's counter methodology). The four
-// algorithm cells form a grid executed on the sweep engine's worker pool;
-// the savings_vs_p2p column is P2P switch bytes / multicast switch bytes
-// for the same operation.
-//
-// Usage:
-//
-//	trafficbench [-nodes 188] [-msg 65536] [-iters 10] [-workers 0] [-json fig12.json]
-//
-// Invalid parameters exit with status 2; simulation failures with 1.
+// Deprecated: trafficbench is now a thin shim over `repro traffic`. The flag
+// surface is unchanged; prefer the repro binary (and its declarative
+// manifests under manifests/) for new work.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/cli"
-	"repro/internal/harness"
-	"repro/internal/sweep"
+	"repro/internal/command"
 )
 
 func main() {
-	nodes := flag.Int("nodes", 188, "participating nodes (2..188)")
-	msg := flag.Int("msg", 64<<10, "message size in bytes (> 0)")
-	iters := flag.Int("iters", 10, "measured iterations (> 0)")
-	jsonPath := flag.String("json", "", "write sweep records as JSON to this path")
-	csvPath := flag.String("csv", "", "write sweep records as CSV to this path")
-	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
-	flag.Parse()
-	defer cli.StartCPUProfile()()
-	harness.SetShards(cli.Shards())
-
-	if *nodes < 2 || *nodes > 188 {
-		cli.Fatalf(2, "trafficbench: nodes must be in [2,188], got %d", *nodes)
-	}
-	if *msg <= 0 {
-		cli.Fatalf(2, "trafficbench: msg must be positive, got %d", *msg)
-	}
-	if *iters <= 0 {
-		cli.Fatalf(2, "trafficbench: iters must be positive, got %d", *iters)
-	}
-
-	fmt.Printf("== Figure 12: switch-port traffic, %d nodes, %d B messages, %d iterations ==\n",
-		*nodes, *msg, *iters)
-	recs, err := harness.Fig12Records(*nodes, *msg, *iters, *workers)
-	if err != nil {
-		cli.Fatalf(1, "trafficbench: %v", err)
-	}
-	if err := sweep.WriteTable(os.Stdout, recs); err != nil {
-		cli.Fatalf(1, "trafficbench: %v", err)
-	}
-	fmt.Println("paper: multicast reduces data movement 1.5x (broadcast) to 2x (allgather).")
-	if err := sweep.WriteFiles(sweep.Report{Name: "trafficbench-fig12", Records: recs}, *jsonPath, *csvPath); err != nil {
-		cli.Fatalf(1, "trafficbench: %v", err)
-	}
+	fmt.Fprintln(os.Stderr, "# trafficbench is deprecated; use: repro traffic (or repro run <manifest>)")
+	os.Exit(command.Run(append([]string{"traffic"}, os.Args[1:]...), os.Stdout, os.Stderr))
 }

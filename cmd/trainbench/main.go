@@ -1,146 +1,16 @@
-// Command trainbench measures application-level training workloads: it
-// expands a workload × shard-size × scenario grid on the sweep engine's
-// worker pool, executes every point's declarative DAG (internal/workload —
-// FSDP steps with prefetched Allgathers and trailing Reduce-Scatters,
-// multi-tenant trainers, the DFS replication stream) on a full-bandwidth
-// star fabric, and reports step time, communication busy/exposed time, and
-// the achieved communication/computation overlap.
-//
-// Usage:
-//
-//	trainbench [-workloads fsdp-ring,fsdp-inc] [-nodes 16] [-shard 524288]
-//	           [-layers 6] [-compute 150] [-jobs 2] [-scenarios flap-spine]
-//	           [-seed 21] [-workers 0] [-json train.json] [-csv train.csv]
-//	           [-compare base.json -tol 0.05] [-trace timeline.txt]
-//
-// -workloads takes a comma list of preset names or "all". -scenarios composes
-// a chaos preset onto the live training step ("quiet" is kept in the list
-// automatically so slowdown_vs_quiet has its anchor); without the flag the
-// points run on the quiet fabric. -trace re-runs the first point with a
-// protocol tracer attached and writes the Figure-9 phase timeline. Like
-// every binary in this repository the output is deterministic: the same
-// flags produce byte-identical -json files at any -workers count.
-//
-// Invalid parameters exit with status 2; simulation failures (and -compare
-// regressions) with 1.
+// Deprecated: trainbench is now a thin shim over `repro train`. The flag
+// surface is unchanged; prefer the repro binary (and its declarative
+// manifests under manifests/) for new work.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
-	"slices"
 
-	"repro/internal/cli"
-	"repro/internal/harness"
-	"repro/internal/scenario"
-	"repro/internal/sim"
-	"repro/internal/sweep"
-	"repro/internal/workload"
+	"repro/internal/command"
 )
 
 func main() {
-	workloadsFlag := flag.String("workloads", "fsdp-ring,fsdp-inc",
-		"comma list of workload presets to run, or \"all\"")
-	nodes := flag.Int("nodes", 16, "hosts per job (>= 2)")
-	shard := flag.Int("shard", 512<<10, "per-rank shard/segment bytes (> 0)")
-	layers := flag.Int("layers", 6, "FSDP model depth (> 0)")
-	computeUS := flag.Int("compute", 150, "forward+backward compute per layer in microseconds (>= 0)")
-	jobs := flag.Int("jobs", 2, "tenant count of multi-job presets (> 0)")
-	scenariosFlag := flag.String("scenarios", "",
-		"comma list of scenario presets to compose onto the step, or \"all\" (empty: quiet fabric)")
-	seed := flag.Uint64("seed", 21, "base sweep seed (per-point seeds derive from it)")
-	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
-	jsonPath := flag.String("json", "", "write sweep records as JSON to this path")
-	csvPath := flag.String("csv", "", "write sweep records as CSV to this path")
-	comparePath := flag.String("compare", "", "baseline BENCH_*.json to diff the records against")
-	tol := flag.Float64("tol", 0.05, "relative tolerance for -compare")
-	cli.RegisterTrace()
-	flag.Parse()
-	defer cli.StartCPUProfile()()
-	harness.SetShards(cli.Shards())
-
-	if *nodes < 2 {
-		cli.Fatalf(2, "trainbench: nodes must be >= 2, got %d", *nodes)
-	}
-	if *shard <= 0 || *layers <= 0 || *computeUS < 0 || *jobs <= 0 {
-		cli.Fatalf(2, "trainbench: shard/layers/jobs must be positive and compute >= 0")
-	}
-	var workloads []string
-	if *workloadsFlag == "all" {
-		workloads = workload.Names()
-	} else {
-		workloads = cli.SplitList(*workloadsFlag)
-		for _, w := range workloads {
-			if !slices.Contains(workload.Names(), w) {
-				cli.Fatalf(2, "trainbench: unknown workload %q (have %v)", w, workload.Names())
-			}
-		}
-	}
-	if len(workloads) == 0 {
-		cli.Fatalf(2, "trainbench: no workloads given")
-	}
-	var scenarios []string
-	switch *scenariosFlag {
-	case "":
-		// Quiet fabric, no scenario axis: grids without the axis stay as
-		// they were before scenarios existed.
-	case "all":
-		scenarios = scenario.Names()
-	default:
-		scenarios = cli.SplitList(*scenariosFlag)
-		for _, s := range scenarios {
-			if _, err := scenario.New(s); err != nil {
-				cli.Fatalf(2, "trainbench: %v", err)
-			}
-		}
-	}
-	if len(scenarios) > 0 && !slices.Contains(scenarios, scenario.Quiet) {
-		// slowdown_vs_quiet needs its anchor point.
-		scenarios = append([]string{scenario.Quiet}, scenarios...)
-	}
-
-	cfg := harness.TrainConfig{
-		Layers:  *layers,
-		Compute: sim.Time(*computeUS) * sim.Microsecond,
-		Jobs:    *jobs,
-	}
-	grid := harness.TrainGrid(workloads, []int{*nodes}, []int{*shard}, scenarios, *seed)
-	fmt.Printf("== trainbench: %d workloads x %d scenarios, %d nodes, %d KiB shards, %d layers ==\n",
-		len(workloads), max(1, len(scenarios)), *nodes, *shard>>10, *layers)
-	recs, err := harness.TrainRecords(grid, *workers, cfg)
-	if err != nil {
-		cli.Fatalf(1, "trainbench: %v", err)
-	}
-	if err := sweep.WriteTable(os.Stdout, recs); err != nil {
-		cli.Fatalf(1, "trainbench: %v", err)
-	}
-	fmt.Println("overlap_frac is the share of communication hidden behind compute or other communication.")
-	rep := sweep.Report{Name: "trainbench", Records: recs}
-	if err := sweep.WriteFiles(rep, *jsonPath, *csvPath); err != nil {
-		cli.Fatalf(1, "trainbench: %v", err)
-	}
-
-	if cli.TracePath() != "" {
-		// Re-run the first point with a protocol tracer attached; the
-		// traced run is independent of the sweep records above.
-		timeline, err := harness.TrainTrace(grid.Expand()[0], cfg)
-		if err != nil {
-			cli.Fatalf(1, "trainbench: trace: %v", err)
-		}
-		cli.WriteTrace(timeline)
-	}
-
-	if *comparePath != "" {
-		base, err := sweep.LoadFile(*comparePath)
-		if err != nil {
-			cli.Fatalf(1, "trainbench: %v", err)
-		}
-		deltas := sweep.Compare(base, rep, *tol)
-		fmt.Printf("# vs %s (tol %.0f%%):\n", *comparePath, *tol*100)
-		sweep.WriteDeltas(os.Stdout, deltas)
-		if len(deltas) > 0 {
-			os.Exit(1)
-		}
-	}
+	fmt.Fprintln(os.Stderr, "# trainbench is deprecated; use: repro train (or repro run <manifest>)")
+	os.Exit(command.Run(append([]string{"train"}, os.Args[1:]...), os.Stdout, os.Stderr))
 }

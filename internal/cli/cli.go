@@ -1,71 +1,20 @@
-// Package cli holds the few helpers shared verbatim by every cmd binary.
+// Package cli holds the flag-parsing, validation and profiling helpers
+// shared by every repro subcommand.
+//
+// The exit-code convention across the tool: 2 for invalid flags or
+// parameters (anything Validate or flag parsing rejects, before the
+// simulation starts), 1 for runtime failures (simulation errors, baseline
+// regressions, unwritable output at write time).
 package cli
 
 import (
-	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
+	"slices"
 	"strings"
 )
-
-// cpuProfile registers the shared -cpuprofile flag on the default flag set:
-// importing this package from a main is enough for the flag to exist, and
-// every cmd binary calls StartCPUProfile right after flag.Parse.
-var cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-
-// shards backs the shared -shards flag. Like -cpuprofile it is registered
-// by the package import itself: the conservative-parallel engine mode is
-// an execution knob meaningful to every binary, never a sweep axis, and
-// -shards 1 (the default) is exactly the serial engine.
-var shards = flag.Int("shards", 1, "engine shards for conservative parallel execution (1 = serial; results are identical at any value)")
-
-// Shards validates and returns the -shards argument. Call after
-// flag.Parse; exits with code 2 (invalid-flag convention) when the value
-// is not positive.
-func Shards() int {
-	if *shards < 1 {
-		Fatalf(2, "shards: %d is not a positive shard count", *shards)
-	}
-	return *shards
-}
-
-// tracePath backs the shared -trace flag. Unlike -cpuprofile (meaningful
-// everywhere), tracing needs a protocol run to attach to, so the flag is
-// registered only by binaries that honor it — RegisterTrace before
-// flag.Parse; elsewhere -trace fails flag parsing (exit 2) instead of
-// being silently ignored.
-var tracePath *string
-
-// RegisterTrace registers the -trace flag: after the sweep, one
-// representative point re-runs with a trace.Recorder attached to its
-// multicast protocol state machines and the Figure-9 phase timeline is
-// written to the path. The traced run is separate from the sweep, so
-// -json/-csv records stay byte-identical; P2P baselines have no tracer
-// and produce "(no events)". Call before flag.Parse.
-func RegisterTrace() {
-	tracePath = flag.String("trace", "", "write the Figure-9 protocol phase timeline of one representative run to this file")
-}
-
-// TracePath returns the -trace argument ("" when unset or unregistered).
-func TracePath() string {
-	if tracePath == nil {
-		return ""
-	}
-	return *tracePath
-}
-
-// WriteTrace writes a rendered timeline to the -trace path. A no-op when
-// the flag is unset; exits with code 1 on an unwritable path (runtime
-// failure convention).
-func WriteTrace(timeline string) {
-	if TracePath() == "" {
-		return
-	}
-	if err := os.WriteFile(TracePath(), []byte(timeline), 0o644); err != nil {
-		Fatalf(1, "trace: %v", err)
-	}
-}
 
 // SplitList parses a comma-separated flag value, trimming whitespace and
 // dropping empty elements — the shared parser behind -algos, -scenarios
@@ -80,37 +29,94 @@ func SplitList(s string) []string {
 	return out
 }
 
-// Fatalf prints the formatted message to stderr and exits with code.
-// Convention across the binaries: 2 for invalid flags or parameters,
-// 1 for runtime failures.
-func Fatalf(code int, format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(code)
+// Validate is the single exit-code-2 gate every subcommand funnels its
+// parsed flags through: it returns the first failing check, prefixed with
+// the subcommand name. Each check below returns nil or a descriptive
+// error, so a subcommand's whole flag contract reads as one call:
+//
+//	err := cli.Validate("osu",
+//		cli.InRange("nodes", *nodes, 1, 188),
+//		cli.Positive("iters", *iters),
+//		cli.Writable("json", *jsonPath))
+func Validate(cmd string, checks ...error) error {
+	for _, err := range checks {
+		if err != nil {
+			return fmt.Errorf("%s: %w", cmd, err)
+		}
+	}
+	return nil
 }
 
-// StartCPUProfile begins CPU profiling if -cpuprofile was given and returns
-// the stop function; with the flag unset it is a no-op. Call it after
-// flag.Parse and defer the stop:
-//
-//	defer cli.StartCPUProfile()()
-//
-// Exits with code 2 on an unwritable path, matching the invalid-flag
-// convention. (A run that ends through Fatalf loses the profile tail, like
-// any crashed profiled process — acceptable for a diagnostics flag.)
-func StartCPUProfile() func() {
-	if *cpuProfile == "" {
-		return func() {}
+// Positive requires v >= 1.
+func Positive(name string, v int) error {
+	if v < 1 {
+		return fmt.Errorf("-%s must be positive, got %d", name, v)
 	}
-	f, err := os.Create(*cpuProfile)
+	return nil
+}
+
+// NonNegative requires v >= 0.
+func NonNegative(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("-%s must be >= 0, got %d", name, v)
+	}
+	return nil
+}
+
+// InRange requires lo <= v <= hi.
+func InRange(name string, v, lo, hi int) error {
+	if v < lo || v > hi {
+		return fmt.Errorf("-%s must be in [%d,%d], got %d", name, lo, hi, v)
+	}
+	return nil
+}
+
+// OneOf requires v to be a member of have.
+func OneOf(name, v string, have []string) error {
+	if !slices.Contains(have, v) {
+		return fmt.Errorf("-%s: unknown value %q (have %v)", name, v, have)
+	}
+	return nil
+}
+
+// Writable requires path (when set) to point into an existing directory,
+// so a typo'd -json/-csv/-trace/-cpuprofile destination fails before the
+// simulation runs instead of after it. The file itself need not exist.
+func Writable(name, path string) error {
+	if path == "" {
+		return nil
+	}
+	dir := filepath.Dir(path)
+	info, err := os.Stat(dir)
 	if err != nil {
-		Fatalf(2, "cpuprofile: %v", err)
+		return fmt.Errorf("-%s: directory %s does not exist", name, dir)
+	}
+	if !info.IsDir() {
+		return fmt.Errorf("-%s: %s is not a directory", name, dir)
+	}
+	return nil
+}
+
+// StartCPUProfile begins CPU profiling to path and returns the stop
+// function; an empty path is a no-op. Callers defer the stop:
+//
+//	stop, err := cli.StartCPUProfile(*cpuprofile)
+//	...
+//	defer stop()
+func StartCPUProfile(path string) (func(), error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
 	}
 	if err := pprof.StartCPUProfile(f); err != nil {
 		f.Close()
-		Fatalf(2, "cpuprofile: %v", err)
+		return nil, fmt.Errorf("cpuprofile: %w", err)
 	}
 	return func() {
 		pprof.StopCPUProfile()
 		f.Close()
-	}
+	}, nil
 }

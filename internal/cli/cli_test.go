@@ -1,0 +1,89 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a,b", []string{"a", "b"}},
+		{" a , b ", []string{"a", "b"}},
+		{"a,,b,", []string{"a", "b"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		if got := SplitList(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestValidate is the table test for the unified exit-code-2 flag gate:
+// every check type, passing and failing, and the subcommand-name prefix.
+func TestValidate(t *testing.T) {
+	tmp := t.TempDir()
+	cases := []struct {
+		name  string
+		check error
+		want  string // "" = pass; otherwise a substring of the error
+	}{
+		{"positive ok", Positive("iters", 1), ""},
+		{"positive zero", Positive("iters", 0), "-iters must be positive"},
+		{"positive negative", Positive("iters", -3), "-iters must be positive"},
+		{"nonnegative ok", NonNegative("warmup", 0), ""},
+		{"nonnegative bad", NonNegative("warmup", -1), "-warmup must be >= 0"},
+		{"inrange ok", InRange("nodes", 188, 1, 188), ""},
+		{"inrange low", InRange("nodes", 0, 1, 188), "-nodes must be in [1,188]"},
+		{"inrange high", InRange("nodes", 189, 1, 188), "-nodes must be in [1,188]"},
+		{"oneof ok", OneOf("op", "allgather", []string{"allgather", "broadcast"}), ""},
+		{"oneof bad", OneOf("op", "gather", []string{"allgather", "broadcast"}), `-op: unknown value "gather"`},
+		{"writable empty", Writable("json", ""), ""},
+		{"writable ok", Writable("json", filepath.Join(tmp, "out.json")), ""},
+		{"writable missing dir", Writable("json", filepath.Join(tmp, "nope", "out.json")), "does not exist"},
+	}
+	for _, c := range cases {
+		err := Validate("osu", c.check)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: expected error containing %q", c.name, c.want)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), "osu: ") {
+			t.Errorf("%s: error %q is not prefixed with the subcommand name", c.name, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateFirstFailureWins(t *testing.T) {
+	err := Validate("train", nil, Positive("layers", 0), NonNegative("compute", -1))
+	if err == nil || !strings.Contains(err.Error(), "-layers") {
+		t.Fatalf("expected the first failing check, got %v", err)
+	}
+}
+
+func TestWritableNonDirParent(t *testing.T) {
+	tmp := t.TempDir()
+	file := filepath.Join(tmp, "plain")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := Writable("csv", filepath.Join(file, "out.csv"))
+	if err == nil || !strings.Contains(err.Error(), "not a directory") {
+		t.Fatalf("expected not-a-directory error, got %v", err)
+	}
+}

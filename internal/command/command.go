@@ -1,0 +1,70 @@
+// Package command implements every subcommand of the repro binary: the
+// manifest-driven entry points (run, validate, list) and the seven
+// flag-compatible shims that replaced the historical per-experiment
+// binaries (osu, ag, traffic, dpa, cost, chaos, train). Each shim parses
+// the exact flag surface its binary had, builds a manifest.Manifest in
+// memory, and goes through the same compile/execute path `repro run`
+// uses — one wiring, eight doors.
+//
+// Subcommands return exit codes instead of exiting, so the whole surface
+// is table-testable: 0 success, 1 runtime failure (simulation errors,
+// baseline regressions, digest mismatches), 2 invalid flags or manifests.
+package command
+
+import (
+	"fmt"
+	"io"
+)
+
+// subcommand is one entry of the dispatch table.
+type subcommand struct {
+	name    string
+	summary string
+	run     func(args []string, stdout, stderr io.Writer) int
+}
+
+var subcommands = []subcommand{
+	{"run", "execute a manifest: repro run <manifest> [-workers N] [-json PATH] [-compare BASE]", runManifest},
+	{"validate", "check manifests without running: repro validate <manifest...>", runValidate},
+	{"list", "print registered kinds, algorithms, scenarios, workloads and presets", runList},
+	{"osu", "OSU-style collective microbenchmark (was cmd/osu)", runOSU},
+	{"ag", "at-scale collective figures 10/11 (was cmd/agbench)", runAG},
+	{"traffic", "figure 12 switch-port traffic (was cmd/trafficbench)", runTraffic},
+	{"dpa", "SmartNIC offloading figures/tables (was cmd/dpabench)", runDPA},
+	{"cost", "analytic cost-model artifacts (was cmd/costmodel)", runCost},
+	{"chaos", "collectives under perturbation scenarios (was cmd/chaosbench)", runChaos},
+	{"train", "training-workload benchmark (was cmd/trainbench)", runTrain},
+}
+
+// Run dispatches args[0] as a subcommand and returns its exit code.
+func Run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	name := args[0]
+	if name == "help" || name == "-h" || name == "-help" || name == "--help" {
+		usage(stdout)
+		return 0
+	}
+	for _, sc := range subcommands {
+		if sc.name == name {
+			return sc.run(args[1:], stdout, stderr)
+		}
+	}
+	fmt.Fprintf(stderr, "repro: unknown subcommand %q\n\n", name)
+	usage(stderr)
+	return 2
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: repro <subcommand> [flags]")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Subcommands:")
+	for _, sc := range subcommands {
+		fmt.Fprintf(w, "  %-9s %s\n", sc.name, sc.summary)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Every subcommand is deterministic: the same arguments produce")
+	fmt.Fprintln(w, "byte-identical -json output at any -workers or -shards count.")
+}

@@ -1,0 +1,181 @@
+package command
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/manifest"
+)
+
+// run invokes the dispatcher and returns (exit code, stdout, stderr).
+func run(args ...string) (int, string, string) {
+	var out, errb bytes.Buffer
+	code := Run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestExitCodes is the table test over the unified flag-validation
+// convention: exit 2 for anything rejected before the simulation starts,
+// on every subcommand — including the output-path checks trafficbench
+// historically lacked.
+func TestExitCodes(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope", "out.json")
+	cases := []struct {
+		name string
+		args []string
+		want int
+		err  string // substring expected on stderr ("" = don't check)
+	}{
+		{"no args", nil, 2, "usage"},
+		{"unknown subcommand", []string{"frobnicate"}, 2, "unknown subcommand"},
+		{"help", []string{"help"}, 0, ""},
+		{"bad flag", []string{"osu", "-no-such-flag"}, 2, ""},
+
+		{"osu bad nodes", []string{"osu", "-nodes", "0"}, 2, "[1,188]"},
+		{"osu bad iters", []string{"osu", "-iters", "0"}, 2, "-iters must be positive"},
+		{"osu bad sizes", []string{"osu", "-sizes", "banana"}, 2, "bad size"},
+		{"osu bad algo", []string{"osu", "-algo", "nope"}, 2, "unknown algorithm"},
+		{"osu unregistered combo", []string{"osu", "-algo", "bruck", "-op", "broadcast"}, 2, "unknown algorithm"},
+		{"osu bad json dir", []string{"osu", "-json", missing}, 2, "does not exist"},
+		{"osu bad workers", []string{"osu", "-workers", "-2"}, 2, "-workers must be >= 0"},
+		{"osu bad shards", []string{"osu", "-shards", "0"}, 2, "-shards must be positive"},
+
+		{"chaos bad scenario", []string{"chaos", "-scenarios", "hurricane"}, 2, "hurricane"},
+		{"chaos bad json dir", []string{"chaos", "-json", missing}, 2, "does not exist"},
+
+		{"train bad layers", []string{"train", "-layers", "0"}, 2, "-layers must be positive"},
+		{"train bad workload", []string{"train", "-workloads", "nope"}, 2, "unknown workload"},
+		{"train bad json dir", []string{"train", "-json", missing}, 2, "does not exist"},
+
+		{"traffic bad nodes", []string{"traffic", "-nodes", "1"}, 2, "[2,188]"},
+		{"traffic bad iters", []string{"traffic", "-iters", "0"}, 2, "-iters must be positive"},
+		{"traffic bad json dir", []string{"traffic", "-json", missing}, 2, "does not exist"},
+		{"traffic bad csv dir", []string{"traffic", "-csv", missing}, 2, "does not exist"},
+
+		{"ag no fig", []string{"ag"}, 2, "exactly one figure"},
+		{"ag bad fig", []string{"ag", "-fig", "12"}, 2, "exactly one figure"},
+		{"ag bad json dir", []string{"ag", "-fig", "10", "-json", missing}, 2, "does not exist"},
+
+		{"dpa nothing selected", []string{"dpa"}, 2, "figures, tables or all"},
+		{"dpa bad fig", []string{"dpa", "-fig", "6"}, 2, "no figure 6"},
+		{"dpa bad json dir", []string{"dpa", "-fig", "5", "-json", missing}, 2, "does not exist"},
+
+		{"cost nothing selected", []string{"cost"}, 2, "figures, speedup, economics or all"},
+		{"cost bad fig", []string{"cost", "-fig", "3"}, 2, "no figure 3"},
+		{"cost bad json dir", []string{"cost", "-fig", "2", "-json", missing}, 2, "does not exist"},
+
+		{"run no manifest", []string{"run"}, 2, "usage"},
+		{"run missing file", []string{"run", filepath.Join(t.TempDir(), "absent.json")}, 2, ""},
+		{"validate no args", []string{"validate"}, 2, "usage"},
+		{"list extra args", []string{"list", "x"}, 2, "usage"},
+	}
+	for _, c := range cases {
+		code, _, stderr := run(c.args...)
+		if code != c.want {
+			t.Errorf("%s: exit %d, want %d (stderr: %s)", c.name, code, c.want, stderr)
+			continue
+		}
+		if c.err != "" && !strings.Contains(stderr, c.err) {
+			t.Errorf("%s: stderr %q does not contain %q", c.name, stderr, c.err)
+		}
+	}
+}
+
+func TestListAndHelp(t *testing.T) {
+	code, out, _ := run("list")
+	if code != 0 {
+		t.Fatalf("list: exit %d", code)
+	}
+	for _, want := range []string{"kinds:", "mcast-allgather", "quiet", "fsdp-ring"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q:\n%s", want, out)
+		}
+	}
+	code, out, _ = run("help")
+	if code != 0 || !strings.Contains(out, "byte-identical") {
+		t.Fatalf("help: exit %d, out %q", code, out)
+	}
+}
+
+func TestValidateSubcommand(t *testing.T) {
+	good := filepath.Join("..", "..", "manifests", "pr.json")
+	code, out, _ := run("validate", good)
+	if code != 0 || !strings.Contains(out, "ok "+good) {
+		t.Fatalf("validate %s: exit %d, out %q", good, code, out)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"kind":"dpa","all":true,"seed":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := run("validate", good, bad)
+	if code != 2 || !strings.Contains(stderr, "1 of 2 manifests invalid") {
+		t.Fatalf("validate with one bad manifest: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestDigestMismatchExitsOne pins the runtime-failure exit code: a run
+// whose bytes do not match the declared expect.sha256 fails with 1.
+func TestDigestMismatchExitsOne(t *testing.T) {
+	tmp := t.TempDir()
+	m := manifest.Manifest{
+		Kind: "osu",
+		Grid: manifest.Grid{
+			Algorithms: []string{"mcast-allgather"},
+			Nodes:      []int{4},
+			Sizes:      manifest.Sizes{4096},
+		},
+		OSU:    &manifest.OSUSpec{Iters: 1},
+		Expect: &manifest.Expect{SHA256: strings.Repeat("0", 64)},
+	}
+	path := filepath.Join(tmp, "m.json")
+	if err := os.WriteFile(path, m.Encode(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := run("run", path)
+	if code != 1 || !strings.Contains(stderr, "does not match expect.sha256") {
+		t.Fatalf("digest mismatch: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestGoldenPRManifest pins the CI pr leg end to end: `repro run
+// manifests/pr.json` must reproduce the historical cmd/osu BENCH_pr.json
+// bytes, whose digest is declared in the manifest itself. The twin
+// manifests carry the same digest, so worker- and shard-count determinism
+// ride on the same pin.
+func TestGoldenPRManifest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep; skipped with -short")
+	}
+	src, err := filepath.Abs(filepath.Join("..", "..", "manifests", "pr.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := manifest.ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Expect == nil {
+		t.Fatal("manifests/pr.json declares no expect.sha256")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_pr.json")
+	code, stdout, stderr := run("run", "-json", out, src)
+	if code != 0 {
+		t.Fatalf("repro run: exit %d, stderr %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "digest matches expect.sha256") {
+		t.Fatalf("stdout does not confirm the digest:\n%s", stdout)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(b)
+	if got := hex.EncodeToString(sum[:]); got != m.Expect.SHA256 {
+		t.Fatalf("BENCH_pr.json digest %s, manifest expects %s", got, m.Expect.SHA256)
+	}
+}

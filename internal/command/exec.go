@@ -1,0 +1,186 @@
+package command
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/harness"
+	"repro/internal/manifest"
+	"repro/internal/sweep"
+)
+
+// common is the flag surface shared by every subcommand that executes a
+// plan: output targets, pool/engine sizing, and diagnostics.
+type common struct {
+	jsonPath   string
+	csvPath    string
+	workers    int
+	shards     int
+	cpuprofile string
+}
+
+// registerCommon adds the shared flags to a subcommand's FlagSet. The
+// workers default differs per caller (-1 on `run` means "use the
+// manifest's value"; 0 on the shims is the historical GOMAXPROCS
+// default).
+func (c *common) register(fs *flag.FlagSet, workersDefault int) {
+	fs.StringVar(&c.jsonPath, "json", "", "write sweep records as JSON to this path")
+	fs.StringVar(&c.csvPath, "csv", "", "write sweep records as CSV to this path")
+	fs.IntVar(&c.workers, "workers", workersDefault, "sweep worker goroutines (0 = GOMAXPROCS)")
+	fs.IntVar(&c.shards, "shards", 1, "engine shards for conservative parallel execution (1 = serial; results are identical at any value)")
+	fs.StringVar(&c.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file")
+}
+
+// validate is the shared exit-code-2 gate for the common flags. A
+// workers value of -1 is the `run` sentinel for "defer to the manifest"
+// and passes.
+func (c *common) validate() []error {
+	checks := []error{
+		cli.Positive("shards", c.shards),
+		cli.Writable("json", c.jsonPath),
+		cli.Writable("csv", c.csvPath),
+		cli.Writable("cpuprofile", c.cpuprofile),
+	}
+	if c.workers != -1 {
+		checks = append(checks, cli.NonNegative("workers", c.workers))
+	}
+	return checks
+}
+
+// apply folds the common flags into the manifest.
+func (c *common) apply(m *manifest.Manifest) {
+	if c.jsonPath != "" {
+		m.Output.JSON = c.jsonPath
+	}
+	if c.csvPath != "" {
+		m.Output.CSV = c.csvPath
+	}
+	if c.workers >= 0 {
+		m.Workers = c.workers
+	}
+	if c.shards > 1 || m.Shards == 0 {
+		m.Shards = c.shards
+	}
+}
+
+// parseFlags runs fs over args, mapping a parse failure to exit code 2.
+// The -1 return means "continue".
+func parseFlags(fs *flag.FlagSet, args []string, stderr io.Writer) int {
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	return -1
+}
+
+// fail prints a subcommand error and returns the given code.
+func fail(stderr io.Writer, code int, format string, args ...interface{}) int {
+	fmt.Fprintf(stderr, format+"\n", args...)
+	return code
+}
+
+// diagnostics carries the run-scoped paths that never belong in a
+// manifest document: the protocol-trace destination and the CPU profile.
+type diagnostics struct {
+	trace      string
+	cpuprofile string
+}
+
+// execute is the single run path behind `repro run` and all seven shims:
+// compile the manifest, configure the engine shard count, run the plan,
+// persist/compare/verify the report, and optionally write a protocol
+// trace. Exit codes follow the repository convention (2 invalid spec,
+// 1 runtime failure).
+func execute(cmd string, m manifest.Manifest, diag diagnostics, stdout, stderr io.Writer) int {
+	plan, err := manifest.Compile(m)
+	if err != nil {
+		return fail(stderr, 2, "%s: %v", cmd, err)
+	}
+	if diag.trace != "" && plan.Trace == nil {
+		return fail(stderr, 2, "%s: kind %s has no traceable point", cmd, m.Kind)
+	}
+	stop, err := cli.StartCPUProfile(diag.cpuprofile)
+	if err != nil {
+		return fail(stderr, 2, "%s: %v", cmd, err)
+	}
+	defer stop()
+	shards := m.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	harness.SetShards(shards)
+	rep, err := plan.Execute(m.Workers, stdout)
+	if err != nil {
+		return fail(stderr, 1, "%s: %v", cmd, err)
+	}
+
+	// One canonical encoding feeds the file, the digest check and the
+	// baseline diff, so they can never disagree about the bytes.
+	var buf bytes.Buffer
+	if err := sweep.WriteJSON(&buf, rep); err != nil {
+		return fail(stderr, 1, "%s: %v", cmd, err)
+	}
+	if m.Output.JSON != "" {
+		if err := os.WriteFile(m.Output.JSON, buf.Bytes(), 0o644); err != nil {
+			return fail(stderr, 1, "%s: %v", cmd, err)
+		}
+	}
+	if m.Output.CSV != "" {
+		f, err := os.Create(m.Output.CSV)
+		if err != nil {
+			return fail(stderr, 1, "%s: %v", cmd, err)
+		}
+		if err := sweep.WriteCSV(f, rep.Records); err != nil {
+			f.Close()
+			return fail(stderr, 1, "%s: %v", cmd, err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(stderr, 1, "%s: %v", cmd, err)
+		}
+	}
+
+	if diag.trace != "" {
+		timeline, err := plan.Trace()
+		if err != nil {
+			return fail(stderr, 1, "%s: trace: %v", cmd, err)
+		}
+		if err := os.WriteFile(diag.trace, []byte(timeline), 0o644); err != nil {
+			return fail(stderr, 1, "%s: trace: %v", cmd, err)
+		}
+	}
+
+	if m.Expect != nil {
+		sum := sha256.Sum256(buf.Bytes())
+		got := hex.EncodeToString(sum[:])
+		if got != m.Expect.SHA256 {
+			return fail(stderr, 1, "%s: output digest %s does not match expect.sha256 %s", cmd, got, m.Expect.SHA256)
+		}
+		fmt.Fprintf(stdout, "# output digest matches expect.sha256\n")
+	}
+
+	if m.Baseline != nil {
+		base, err := sweep.LoadFile(m.Baseline.Path)
+		if err != nil {
+			return fail(stderr, 1, "%s: %v", cmd, err)
+		}
+		tol := m.Baseline.Tolerance
+		if tol == 0 {
+			tol = 0.05
+		}
+		deltas := sweep.Compare(base, rep, tol)
+		fmt.Fprintf(stdout, "# vs %s (tol %.0f%%):\n", m.Baseline.Path, tol*100)
+		if err := sweep.WriteDeltas(stdout, deltas); err != nil {
+			return fail(stderr, 1, "%s: %v", cmd, err)
+		}
+		if len(deltas) > 0 {
+			return 1
+		}
+	}
+	return 0
+}

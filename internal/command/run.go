@@ -1,0 +1,125 @@
+package command
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/manifest"
+	"repro/internal/registry"
+	"repro/internal/scenario"
+	"repro/internal/workload"
+)
+
+// runManifest implements `repro run <manifest>`: parse the document,
+// fold in any command-line overrides, and execute it.
+func runManifest(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repro run", flag.ContinueOnError)
+	comparePath := fs.String("compare", "", "override the manifest baseline path")
+	tol := fs.Float64("tol", -1, "override the manifest baseline tolerance (>= 0)")
+	tracePath := fs.String("trace", "", "write the Figure-9 protocol phase timeline of one representative run to this file")
+	var c common
+	c.register(fs, -1)
+	// Stdlib flag parsing stops at the first positional argument; re-parse
+	// the remainder so `repro run manifests/pr.json -json out.json` works
+	// as naturally as flags-first order.
+	fs.SetOutput(stderr)
+	var paths []string
+	rest := args
+	for {
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		if fs.NArg() == 0 {
+			break
+		}
+		paths = append(paths, fs.Arg(0))
+		rest = fs.Args()[1:]
+	}
+	if len(paths) != 1 {
+		return fail(stderr, 2, "usage: repro run [flags] <manifest>")
+	}
+	checks := append(c.validate(), cli.Writable("trace", *tracePath))
+	if err := cli.Validate("run", checks...); err != nil {
+		return fail(stderr, 2, "%v", err)
+	}
+	m, err := manifest.ParseFile(paths[0])
+	if err != nil {
+		return fail(stderr, 2, "run: %v", err)
+	}
+	if *comparePath != "" {
+		if m.Baseline == nil {
+			m.Baseline = &manifest.Baseline{}
+		}
+		m.Baseline.Path = *comparePath
+	}
+	if *tol >= 0 {
+		if m.Baseline == nil {
+			return fail(stderr, 2, "run: -tol set but no baseline declared or passed via -compare")
+		}
+		m.Baseline.Tolerance = *tol
+	}
+	c.apply(&m)
+	return execute("run", m, diagnostics{trace: *tracePath, cpuprofile: c.cpuprofile}, stdout, stderr)
+}
+
+// runValidate implements `repro validate <manifest...>`: parse and
+// compile every named manifest without executing anything, reporting all
+// failures before exiting.
+func runValidate(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repro validate", flag.ContinueOnError)
+	if code := parseFlags(fs, args, stderr); code >= 0 {
+		return code
+	}
+	if fs.NArg() == 0 {
+		return fail(stderr, 2, "usage: repro validate <manifest...>")
+	}
+	bad := 0
+	for _, path := range fs.Args() {
+		m, err := manifest.ParseFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", path, err)
+			bad++
+			continue
+		}
+		plan, err := manifest.Compile(m)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", path, err)
+			bad++
+			continue
+		}
+		points := 0
+		for _, sec := range plan.Sections {
+			points += len(sec.Specs)
+		}
+		fmt.Fprintf(stdout, "ok %s: kind=%s name=%s sections=%d points=%d\n",
+			path, m.Kind, plan.Name, len(plan.Sections), points)
+	}
+	if bad > 0 {
+		return fail(stderr, 2, "validate: %d of %d manifests invalid", bad, fs.NArg())
+	}
+	return 0
+}
+
+// runList implements `repro list`: print everything a manifest author can
+// reference — kinds, registry algorithms, scenario and workload presets,
+// and the analytic figure/table selectors.
+func runList(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repro list", flag.ContinueOnError)
+	if code := parseFlags(fs, args, stderr); code >= 0 {
+		return code
+	}
+	if fs.NArg() != 0 {
+		return fail(stderr, 2, "usage: repro list")
+	}
+	fmt.Fprintf(stdout, "kinds:       %s\n", strings.Join(manifest.Kinds, " "))
+	fmt.Fprintf(stdout, "algorithms:  %s\n", strings.Join(registry.Names(), " "))
+	fmt.Fprintf(stdout, "scenarios:   %s\n", strings.Join(scenario.Names(), " "))
+	fmt.Fprintf(stdout, "workloads:   %s\n", strings.Join(workload.Names(), " "))
+	fmt.Fprintf(stdout, "dpa:         figures 5 13 14 15 16, tables 1\n")
+	fmt.Fprintf(stdout, "cost:        figures 2 7, studies speedup economics\n")
+	fmt.Fprintf(stdout, "ag:          figures 10 11\n")
+	return 0
+}

@@ -290,10 +290,10 @@ func Fig12Specs(nodes, msgBytes int) []sweep.Spec {
 	}.Expand()
 }
 
-// fig12Kernel measures switch-port counter totals for one algorithm: one
+// Fig12Kernel measures switch-port counter totals for one algorithm: one
 // warmup operation, counter reset, then iters measured iterations on the
 // same warm instance (the paper's counter methodology).
-func fig12Kernel(iters int) sweep.Func {
+func Fig12Kernel(iters int) sweep.Func {
 	return func(s sweep.Spec) (sweep.Record, error) {
 		kind, err := opForAlgo(s.Algorithm)
 		if err != nil {
@@ -324,14 +324,10 @@ func fig12Kernel(iters int) sweep.Func {
 	}
 }
 
-// Fig12Records runs the four cells on workers goroutines (0 = GOMAXPROCS)
-// and adds the cross-cell "savings_vs_p2p" metric (P2P switch bytes /
-// multicast switch bytes for the same operation) onto every record.
-func Fig12Records(nodes, msgBytes, iters, workers int) ([]sweep.Record, error) {
-	recs, err := sweep.Run(Fig12Specs(nodes, msgBytes), workers, fig12Kernel(iters))
-	if err != nil {
-		return nil, err
-	}
+// AnnotateSavings adds the cross-cell "savings_vs_p2p" metric (P2P switch
+// bytes / multicast switch bytes for the same operation) onto every Figure
+// 12 record.
+func AnnotateSavings(recs []sweep.Record) {
 	byAlgo := map[string]float64{}
 	for _, r := range recs {
 		byAlgo[r.Spec.Algorithm] = r.Metric("switch_bytes")
@@ -347,6 +343,16 @@ func Fig12Records(nodes, msgBytes, iters, workers int) ([]sweep.Record, error) {
 			recs[i].Metrics["savings_vs_p2p"] = 1
 		}
 	}
+}
+
+// Fig12Records runs the four cells on workers goroutines (0 = GOMAXPROCS)
+// and annotates the cross-cell savings metric.
+func Fig12Records(nodes, msgBytes, iters, workers int) ([]sweep.Record, error) {
+	recs, err := sweep.Run(Fig12Specs(nodes, msgBytes), workers, Fig12Kernel(iters))
+	if err != nil {
+		return nil, err
+	}
+	AnnotateSavings(recs)
 	return recs, nil
 }
 
@@ -358,12 +364,12 @@ func AppBSpecs(ps []int, n int) []sweep.Spec {
 		Nodes: ps, MsgBytes: []int{n}, Seed: 21}.Expand()
 }
 
-// appBKernel runs an Allgather and a Reduce-Scatter concurrently on one
+// AppBKernel runs an Allgather and a Reduce-Scatter concurrently on one
 // fresh star system (full-bandwidth, as Appendix B assumes) as a two-phase
 // workload DAG — two single-op streams with no dependency edge, so both
 // post at t=0 and contend for the shared NICs — and reports the span from
 // first start to last finish, read from the unified Results.
-func appBKernel(s sweep.Spec) (sweep.Record, error) {
+func AppBKernel(s sweep.Spec) (sweep.Record, error) {
 	var ag, rs workload.Comm
 	switch s.Algorithm {
 	case "ring-pair":
@@ -415,7 +421,7 @@ func appBKernel(s sweep.Spec) (sweep.Record, error) {
 // AppBRecords runs both configurations at every scale; ring-pair records
 // come first, then inc-pair, each in ps order.
 func AppBRecords(ps []int, n int) ([]sweep.Record, error) {
-	return sweep.Run(AppBSpecs(ps, n), 0, appBKernel)
+	return sweep.Run(AppBSpecs(ps, n), 0, AppBKernel)
 }
 
 // CollTrace runs one collective point of the OSU sweep with a trace

@@ -1,0 +1,558 @@
+// Package manifest turns experiments into data: a manifest is a small
+// JSON (or YAML-subset) document declaring what to run — a kind naming the
+// experiment family (osu, chaos, train, traffic, dpa, cost, ag), the grid
+// axes it sweeps, and the run's bookkeeping (seed, workers, shards, output
+// paths, a baseline to diff against, an expected output digest) — which
+// compiles onto the existing sweep.Grid / harness kernels. The seven
+// historical cmd binaries are thin shims that build one of these in memory;
+// CI is a matrix over the checked-in specs in manifests/.
+//
+// The contract mirrors the sweep engine's: the same manifest always
+// produces byte-identical JSON output at any worker or shard count, so a
+// manifest plus its committed BENCH_*.json is a reproducible experiment.
+package manifest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
+
+	"repro/internal/collective"
+	"repro/internal/registry"
+	"repro/internal/scenario"
+	"repro/internal/workload"
+)
+
+// Kinds enumerates the experiment families a manifest can declare, each
+// mapping onto one historical cmd binary's wiring.
+var Kinds = []string{"osu", "chaos", "train", "traffic", "dpa", "cost", "ag"}
+
+// Manifest is one declarative experiment spec. Field presence is
+// kind-checked by Validate: axes a kind does not consume are rejected so a
+// drifting manifest fails fast instead of being silently ignored.
+type Manifest struct {
+	// Kind selects the experiment family: "osu", "chaos", "train",
+	// "traffic", "dpa", "cost" or "ag".
+	Kind string `json:"kind"`
+	// Name overrides the report name embedded in the JSON output. Empty
+	// derives the historical name for the kind (e.g. "osu-mcast-allgather",
+	// "chaosbench").
+	Name string `json:"name,omitempty"`
+	// Grid declares the swept axes. Which axes are meaningful (and which
+	// required) depends on Kind.
+	Grid Grid `json:"grid,omitempty"`
+	// Seed is the base sweep seed for kinds that accept one (osu, chaos,
+	// train). Nil selects the kind's historical default (1, 7, 21); the
+	// fixed-seed kinds (traffic, dpa, cost, ag) reject the field, since
+	// their figure definitions pin their own seeds.
+	Seed *uint64 `json:"seed,omitempty"`
+	// Workers is the sweep worker pool size; 0 means GOMAXPROCS. Results
+	// are byte-identical at any value.
+	Workers int `json:"workers,omitempty"`
+	// Shards is the conservative-parallel engine shard count; 0 and 1 both
+	// mean serial. Results are byte-identical at any value.
+	Shards int `json:"shards,omitempty"`
+	// Figures selects figures for the dpa (5, 13, 14, 15, 16), cost (2, 7)
+	// and ag (10 or 11, exactly one) kinds.
+	Figures []int `json:"figures,omitempty"`
+	// Tables selects tables for the dpa kind (1).
+	Tables []int `json:"tables,omitempty"`
+	// Speedup and Economics enable the Appendix-B and §VII studies of the
+	// cost kind.
+	Speedup   bool `json:"speedup,omitempty"`
+	Economics bool `json:"economics,omitempty"`
+	// All enables every experiment of the dpa or cost kind.
+	All bool `json:"all,omitempty"`
+	// OSU carries the measurement-loop knobs of the osu kind.
+	OSU *OSUSpec `json:"osu,omitempty"`
+	// Train carries the workload knobs of the train kind.
+	Train *TrainSpec `json:"train,omitempty"`
+	// Traffic carries the counter-methodology knobs of the traffic kind.
+	Traffic *TrafficSpec `json:"traffic,omitempty"`
+	// Output names where to persist the report; both paths optional.
+	Output Output `json:"output,omitempty"`
+	// Baseline declares the report to diff against after the run: the run
+	// fails (exit 1) when any shared metric moves more than Tolerance.
+	Baseline *Baseline `json:"baseline,omitempty"`
+	// Expect pins the expected output: a hex SHA-256 over the report's
+	// canonical JSON bytes. The run fails (exit 1) on mismatch.
+	Expect *Expect `json:"expect,omitempty"`
+}
+
+// Grid declares the manifest's swept axes, mirroring sweep.Grid. Sizes is
+// MsgBytes under its manifest name (message bytes for collectives, shard
+// bytes for train).
+type Grid struct {
+	Algorithms []string `json:"algorithms,omitempty"`
+	Workloads  []string `json:"workloads,omitempty"`
+	Ops        []string `json:"ops,omitempty"`
+	Nodes      []int    `json:"nodes,omitempty"`
+	Sizes      Sizes    `json:"sizes,omitempty"`
+	Scenarios  []string `json:"scenarios,omitempty"`
+}
+
+// OSUSpec parameterizes the OSU-style measurement loop.
+type OSUSpec struct {
+	// Iters is the measured iteration count per point (default 10).
+	Iters int `json:"iters,omitempty"`
+	// Warmup is the excluded warm-up iteration count. Nil defaults to 2;
+	// an explicit 0 disables warm-up (distinct from absent, hence pointer).
+	Warmup *int `json:"warmup,omitempty"`
+	// LinkGbps is the link bandwidth in Gbit/s (default 56, the testbed).
+	LinkGbps float64 `json:"link_gbps,omitempty"`
+	// JitterUS adds seeded per-delivery network noise in microseconds.
+	JitterUS int `json:"jitter_us,omitempty"`
+}
+
+// TrainSpec parameterizes the training-workload kernel.
+type TrainSpec struct {
+	// Layers is the FSDP model depth (default 6).
+	Layers int `json:"layers,omitempty"`
+	// ComputeUS is the forward+backward compute per layer in microseconds
+	// (default 150, matching the workload presets).
+	ComputeUS int `json:"compute_us,omitempty"`
+	// Jobs is the tenant count of multi-job presets (default 2).
+	Jobs int `json:"jobs,omitempty"`
+}
+
+// TrafficSpec parameterizes the switch-counter methodology.
+type TrafficSpec struct {
+	// Iters is the measured iteration count after the warm-up operation
+	// (default 10).
+	Iters int `json:"iters,omitempty"`
+}
+
+// Output names the report's persistence targets.
+type Output struct {
+	JSON string `json:"json,omitempty"`
+	CSV  string `json:"csv,omitempty"`
+}
+
+// Baseline declares the -compare behaviour of a run.
+type Baseline struct {
+	// Path is the baseline BENCH_*.json.
+	Path string `json:"path"`
+	// Tolerance is the relative tolerance; 0 defaults to 0.05.
+	Tolerance float64 `json:"tolerance,omitempty"`
+}
+
+// Expect pins expected run output.
+type Expect struct {
+	// SHA256 is the hex digest of the report's canonical JSON bytes.
+	SHA256 string `json:"sha256"`
+}
+
+// Sizes is a []int axis that additionally unmarshals from the historical
+// -sizes string forms: a doubling range "4096:1048576" or a comma list
+// "4096,65536". It always marshals as a plain JSON array — the canonical
+// form checked-in manifests use.
+type Sizes []int
+
+// UnmarshalJSON accepts an int array or a range/comma string.
+func (s *Sizes) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var str string
+		if err := json.Unmarshal(b, &str); err != nil {
+			return err
+		}
+		sizes, err := ParseSizes(str)
+		if err != nil {
+			return err
+		}
+		*s = sizes
+		return nil
+	}
+	var ints []int
+	if err := json.Unmarshal(b, &ints); err != nil {
+		return err
+	}
+	*s = ints
+	return nil
+}
+
+// ParseSizes parses the -sizes flag grammar shared by the osu subcommand
+// and string-form manifest axes: "min:max" doubles from min to max,
+// otherwise a comma-separated list.
+func ParseSizes(s string) ([]int, error) {
+	if strings.Contains(s, ":") {
+		lo, hi, _ := strings.Cut(s, ":")
+		loN, err := strconv.Atoi(strings.TrimSpace(lo))
+		if err != nil {
+			return nil, fmt.Errorf("bad size range %q: %w", s, err)
+		}
+		hiN, err := strconv.Atoi(strings.TrimSpace(hi))
+		if err != nil {
+			return nil, fmt.Errorf("bad size range %q: %w", s, err)
+		}
+		if loN <= 0 || hiN < loN {
+			return nil, fmt.Errorf("bad size range %q", s)
+		}
+		var out []int
+		for n := loN; n <= hiN; n *= 2 {
+			out = append(out, n)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad size list %q: %w", s, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// Parse decodes a manifest from JSON bytes, rejecting unknown fields at
+// every nesting level so a typo'd or drifting axis fails instead of being
+// ignored. The result is validated.
+func Parse(b []byte) (Manifest, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return Manifest{}, fmt.Errorf("manifest: %w", err)
+	}
+	// A second document (or trailing garbage) is a malformed manifest.
+	if dec.More() {
+		return Manifest{}, fmt.Errorf("manifest: trailing data after document")
+	}
+	if err := m.Validate(); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// ParseFile loads a manifest from disk, selecting the decoder by
+// extension: .json is parsed directly, .yaml/.yml through the YAML-subset
+// reader.
+func ParseFile(path string) (Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("manifest: %w", err)
+	}
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".json":
+		m, err := Parse(b)
+		if err != nil {
+			return Manifest{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return m, nil
+	case ".yaml", ".yml":
+		jb, err := yamlToJSON(b)
+		if err != nil {
+			return Manifest{}, fmt.Errorf("%s: %w", path, err)
+		}
+		m, err := Parse(jb)
+		if err != nil {
+			return Manifest{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return m, nil
+	default:
+		return Manifest{}, fmt.Errorf("manifest: %s: unknown extension (want .json, .yaml or .yml)", path)
+	}
+}
+
+// Encode renders the manifest in its canonical form: 2-space-indented JSON
+// with struct field order and a trailing newline. Checked-in manifests are
+// kept in this form (enforced by test), so Parse∘Encode is the identity on
+// them byte for byte.
+func (m Manifest) Encode() []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		// Manifest has no unmarshalable fields; a failure here is a
+		// programming error.
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// SeedOr returns the manifest seed, or def when the field is absent.
+func (m Manifest) SeedOr(def uint64) uint64 {
+	if m.Seed != nil {
+		return *m.Seed
+	}
+	return def
+}
+
+// --- validation ------------------------------------------------------------------
+
+// field pairs a manifest field's name with whether the manifest sets it,
+// for the kind-consumption cross-check.
+type field struct {
+	name string
+	set  bool
+}
+
+// fields lists every kind-specific manifest field and its presence.
+func (m Manifest) fields() []field {
+	return []field{
+		{"grid.algorithms", len(m.Grid.Algorithms) > 0},
+		{"grid.workloads", len(m.Grid.Workloads) > 0},
+		{"grid.ops", len(m.Grid.Ops) > 0},
+		{"grid.nodes", len(m.Grid.Nodes) > 0},
+		{"grid.sizes", len(m.Grid.Sizes) > 0},
+		{"grid.scenarios", len(m.Grid.Scenarios) > 0},
+		{"seed", m.Seed != nil},
+		{"figures", len(m.Figures) > 0},
+		{"tables", len(m.Tables) > 0},
+		{"speedup", m.Speedup},
+		{"economics", m.Economics},
+		{"all", m.All},
+		{"osu", m.OSU != nil},
+		{"train", m.Train != nil},
+		{"traffic", m.Traffic != nil},
+	}
+}
+
+// consumes names the kind-specific fields each kind reads. Universal
+// fields (name, workers, shards, output, baseline, expect) are always
+// legal and not listed.
+var consumes = map[string][]string{
+	"osu":     {"grid.algorithms", "grid.ops", "grid.nodes", "grid.sizes", "seed", "osu"},
+	"chaos":   {"grid.algorithms", "grid.scenarios", "grid.nodes", "grid.sizes", "seed"},
+	"train":   {"grid.workloads", "grid.scenarios", "grid.nodes", "grid.sizes", "seed", "train"},
+	"traffic": {"grid.nodes", "grid.sizes", "traffic"},
+	"dpa":     {"figures", "tables", "all"},
+	"cost":    {"figures", "speedup", "economics", "all"},
+	"ag":      {"figures", "grid.nodes", "grid.sizes"},
+}
+
+// Validate checks the manifest without running anything: kind membership,
+// kind/field consumption, axis bounds, and registry cross-checks (algorithm,
+// scenario and workload names must exist; osu op axes must match their
+// algorithms' operation kinds).
+func (m Manifest) Validate() error {
+	if !slices.Contains(Kinds, m.Kind) {
+		return fmt.Errorf("manifest: unknown kind %q (have %s)", m.Kind, strings.Join(Kinds, ", "))
+	}
+	allowed := consumes[m.Kind]
+	for _, f := range m.fields() {
+		if f.set && !slices.Contains(allowed, f.name) {
+			return fmt.Errorf("manifest: kind %s does not consume %s", m.Kind, f.name)
+		}
+	}
+	if m.Workers < 0 {
+		return fmt.Errorf("manifest: workers must be >= 0, got %d", m.Workers)
+	}
+	if m.Shards < 0 {
+		return fmt.Errorf("manifest: shards must be >= 0, got %d", m.Shards)
+	}
+	if m.Baseline != nil {
+		if m.Baseline.Path == "" {
+			return fmt.Errorf("manifest: baseline.path must be set")
+		}
+		if m.Baseline.Tolerance < 0 {
+			return fmt.Errorf("manifest: baseline.tolerance must be >= 0")
+		}
+	}
+	if m.Expect != nil && len(m.Expect.SHA256) != 64 {
+		return fmt.Errorf("manifest: expect.sha256 must be 64 hex characters")
+	}
+	for _, n := range m.Grid.Sizes {
+		if n <= 0 {
+			return fmt.Errorf("manifest: grid.sizes must be positive, got %d", n)
+		}
+	}
+	switch m.Kind {
+	case "osu":
+		return m.validateOSU()
+	case "chaos":
+		return m.validateChaos()
+	case "train":
+		return m.validateTrain()
+	case "traffic":
+		return m.validateTraffic()
+	case "dpa":
+		return m.validateDPA()
+	case "cost":
+		return m.validateCost()
+	case "ag":
+		return m.validateAG()
+	}
+	return nil
+}
+
+// checkAlgorithms cross-checks an algorithm axis against the registry.
+func checkAlgorithms(algos []string) error {
+	for _, a := range algos {
+		if !slices.Contains(registry.Names(), a) {
+			return fmt.Errorf("manifest: unknown algorithm %q (have %v)", a, registry.Names())
+		}
+	}
+	return nil
+}
+
+// checkScenarios cross-checks a scenario axis against the preset registry.
+// The single entry "all" is allowed and expands at compile time.
+func checkScenarios(scenarios []string) error {
+	if len(scenarios) == 1 && scenarios[0] == "all" {
+		return nil
+	}
+	for _, s := range scenarios {
+		if _, err := scenario.New(s); err != nil {
+			return fmt.Errorf("manifest: %w", err)
+		}
+	}
+	return nil
+}
+
+// checkNodes bounds a node axis to the 188-host testbed.
+func checkNodes(nodes []int, lo int) error {
+	for _, n := range nodes {
+		if n < lo || n > 188 {
+			return fmt.Errorf("manifest: grid.nodes must be in [%d,188], got %d", lo, n)
+		}
+	}
+	return nil
+}
+
+func (m Manifest) validateOSU() error {
+	if len(m.Grid.Algorithms) == 0 {
+		return fmt.Errorf("manifest: osu needs grid.algorithms")
+	}
+	if err := checkAlgorithms(m.Grid.Algorithms); err != nil {
+		return err
+	}
+	if len(m.Grid.Nodes) == 0 || len(m.Grid.Sizes) == 0 {
+		return fmt.Errorf("manifest: osu needs grid.nodes and grid.sizes")
+	}
+	if err := checkNodes(m.Grid.Nodes, 1); err != nil {
+		return err
+	}
+	// An explicit op axis must agree with every algorithm's operation kind,
+	// or the grid product contains unrunnable points.
+	for _, op := range m.Grid.Ops {
+		for _, a := range m.Grid.Algorithms {
+			kind, err := collective.KindOfAlgorithm(a)
+			if err != nil {
+				return fmt.Errorf("manifest: %w", err)
+			}
+			if string(kind) != op {
+				return fmt.Errorf("manifest: op %q does not match algorithm %q (operation %s)", op, a, kind)
+			}
+		}
+	}
+	if m.OSU != nil {
+		if m.OSU.Iters < 0 {
+			return fmt.Errorf("manifest: osu.iters must be >= 0")
+		}
+		if m.OSU.Warmup != nil && *m.OSU.Warmup < 0 {
+			return fmt.Errorf("manifest: osu.warmup must be >= 0")
+		}
+		if m.OSU.LinkGbps < 0 || m.OSU.JitterUS < 0 {
+			return fmt.Errorf("manifest: osu.link_gbps and osu.jitter_us must be >= 0")
+		}
+	}
+	return nil
+}
+
+func (m Manifest) validateChaos() error {
+	if len(m.Grid.Algorithms) == 0 {
+		return fmt.Errorf("manifest: chaos needs grid.algorithms")
+	}
+	if err := checkAlgorithms(m.Grid.Algorithms); err != nil {
+		return err
+	}
+	if len(m.Grid.Scenarios) == 0 {
+		return fmt.Errorf("manifest: chaos needs grid.scenarios")
+	}
+	if err := checkScenarios(m.Grid.Scenarios); err != nil {
+		return err
+	}
+	if len(m.Grid.Nodes) != 1 || len(m.Grid.Sizes) != 1 {
+		return fmt.Errorf("manifest: chaos needs exactly one grid.nodes and grid.sizes entry")
+	}
+	return checkNodes(m.Grid.Nodes, 2)
+}
+
+func (m Manifest) validateTrain() error {
+	if len(m.Grid.Workloads) == 0 {
+		return fmt.Errorf("manifest: train needs grid.workloads")
+	}
+	if !(len(m.Grid.Workloads) == 1 && m.Grid.Workloads[0] == "all") {
+		for _, w := range m.Grid.Workloads {
+			if !slices.Contains(workload.Names(), w) {
+				return fmt.Errorf("manifest: unknown workload %q (have %v)", w, workload.Names())
+			}
+		}
+	}
+	if err := checkScenarios(m.Grid.Scenarios); err != nil {
+		return err
+	}
+	if len(m.Grid.Nodes) != 1 || len(m.Grid.Sizes) != 1 {
+		return fmt.Errorf("manifest: train needs exactly one grid.nodes and grid.sizes entry")
+	}
+	if m.Grid.Nodes[0] < 2 {
+		return fmt.Errorf("manifest: grid.nodes must be >= 2, got %d", m.Grid.Nodes[0])
+	}
+	if m.Train != nil {
+		if m.Train.Layers < 0 || m.Train.Jobs < 0 || m.Train.ComputeUS < 0 {
+			return fmt.Errorf("manifest: train.layers, train.compute_us and train.jobs must be >= 0")
+		}
+	}
+	return nil
+}
+
+func (m Manifest) validateTraffic() error {
+	if len(m.Grid.Nodes) != 1 || len(m.Grid.Sizes) != 1 {
+		return fmt.Errorf("manifest: traffic needs exactly one grid.nodes and grid.sizes entry")
+	}
+	if err := checkNodes(m.Grid.Nodes, 2); err != nil {
+		return err
+	}
+	if m.Traffic != nil && m.Traffic.Iters < 0 {
+		return fmt.Errorf("manifest: traffic.iters must be >= 0")
+	}
+	return nil
+}
+
+func (m Manifest) validateDPA() error {
+	if !m.All && len(m.Figures) == 0 && len(m.Tables) == 0 {
+		return fmt.Errorf("manifest: dpa needs figures, tables or all")
+	}
+	for _, f := range m.Figures {
+		if !slices.Contains([]int{5, 13, 14, 15, 16}, f) {
+			return fmt.Errorf("manifest: dpa has no figure %d (have 5, 13, 14, 15, 16)", f)
+		}
+	}
+	for _, t := range m.Tables {
+		if t != 1 {
+			return fmt.Errorf("manifest: dpa has no table %d (have 1)", t)
+		}
+	}
+	return nil
+}
+
+func (m Manifest) validateCost() error {
+	if !m.All && len(m.Figures) == 0 && !m.Speedup && !m.Economics {
+		return fmt.Errorf("manifest: cost needs figures, speedup, economics or all")
+	}
+	for _, f := range m.Figures {
+		if f != 2 && f != 7 {
+			return fmt.Errorf("manifest: cost has no figure %d (have 2 and 7)", f)
+		}
+	}
+	return nil
+}
+
+func (m Manifest) validateAG() error {
+	if len(m.Figures) != 1 || (m.Figures[0] != 10 && m.Figures[0] != 11) {
+		return fmt.Errorf("manifest: ag needs exactly one figure, 10 or 11")
+	}
+	if err := checkNodes(m.Grid.Nodes, 1); err != nil {
+		return err
+	}
+	if m.Figures[0] == 11 && len(m.Grid.Nodes) > 1 {
+		return fmt.Errorf("manifest: ag figure 11 takes a single grid.nodes entry")
+	}
+	return nil
+}

@@ -1,0 +1,291 @@
+package manifest
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is a deliberately small YAML-subset reader: enough of the
+// language for hand-written experiment manifests — block mappings and
+// sequences by indentation, flow sequences of scalars, quoted and bare
+// scalars, comments — and nothing more (no anchors, aliases, multi-line
+// scalars, tags or multiple documents). The repository takes no external
+// dependencies, and manifests are flat little documents; the subset is
+// converted to JSON and decoded through the same strict path as .json
+// files, so unknown-field rejection and validation behave identically.
+
+// yline is one significant manifest line: its indentation depth, content
+// with comments stripped, and 1-based source line for error messages.
+type yline struct {
+	indent int
+	text   string
+	num    int
+}
+
+// yamlToJSON converts the YAML subset to JSON bytes.
+func yamlToJSON(b []byte) ([]byte, error) {
+	lines, err := ylex(string(b))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	v, next, err := yparse(lines, 0, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("yaml: line %d: unexpected indentation", lines[next].num)
+	}
+	return json.Marshal(v)
+}
+
+// ylex splits the document into significant lines: blank and comment-only
+// lines are dropped, inline comments stripped (a ' #' outside quotes),
+// indentation measured in spaces (tabs are rejected, as in YAML proper).
+func ylex(doc string) ([]yline, error) {
+	var out []yline
+	for num, raw := range strings.Split(doc, "\n") {
+		line := strings.TrimRight(raw, " \r")
+		trimmed := strings.TrimLeft(line, " ")
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if strings.Contains(line[:len(line)-len(trimmed)], "\t") || strings.HasPrefix(trimmed, "\t") {
+			return nil, fmt.Errorf("yaml: line %d: tabs are not allowed in indentation", num+1)
+		}
+		out = append(out, yline{
+			indent: len(line) - len(trimmed),
+			text:   stripComment(trimmed),
+			num:    num + 1,
+		})
+	}
+	return out, nil
+}
+
+// stripComment removes an inline comment: the first " #" whose '#' is not
+// inside single or double quotes.
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i, r := range s {
+		switch {
+		case r == '\'' && !inD:
+			inS = !inS
+		case r == '"' && !inS:
+			inD = !inD
+		case r == '#' && !inS && !inD && i > 0 && s[i-1] == ' ':
+			return strings.TrimRight(s[:i], " ")
+		}
+	}
+	return s
+}
+
+// yparse parses one block node (mapping or sequence) starting at lines[i],
+// whose items sit at exactly indent. It returns the node and the index of
+// the first line it did not consume.
+func yparse(lines []yline, i, indent int) (interface{}, int, error) {
+	if lines[i].indent != indent {
+		return nil, i, fmt.Errorf("yaml: line %d: unexpected indentation", lines[i].num)
+	}
+	if isSeqItem(lines[i].text) {
+		return yparseSeq(lines, i, indent)
+	}
+	return yparseMap(lines, i, indent)
+}
+
+func isSeqItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+// yparseMap parses "key: value" lines at one indent level; a key with no
+// inline value takes the more-indented block below it as its value.
+func yparseMap(lines []yline, i, indent int) (interface{}, int, error) {
+	m := map[string]interface{}{}
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		if isSeqItem(ln.text) {
+			return nil, i, fmt.Errorf("yaml: line %d: sequence item in mapping", ln.num)
+		}
+		key, rest, ok := cutKey(ln.text)
+		if !ok {
+			return nil, i, fmt.Errorf("yaml: line %d: expected \"key: value\"", ln.num)
+		}
+		if _, dup := m[key]; dup {
+			return nil, i, fmt.Errorf("yaml: line %d: duplicate key %q", ln.num, key)
+		}
+		if rest != "" {
+			v, err := yscalarOrFlow(rest, ln.num)
+			if err != nil {
+				return nil, i, err
+			}
+			m[key] = v
+			i++
+			continue
+		}
+		// Block value: everything below at deeper indentation.
+		if i+1 < len(lines) && lines[i+1].indent > indent {
+			v, next, err := yparse(lines, i+1, lines[i+1].indent)
+			if err != nil {
+				return nil, i, err
+			}
+			m[key] = v
+			i = next
+			continue
+		}
+		m[key] = nil
+		i++
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, i, fmt.Errorf("yaml: line %d: unexpected indentation", lines[i].num)
+	}
+	return m, i, nil
+}
+
+// yparseSeq parses "- item" lines at one indent level. Items are scalars,
+// flow sequences, or nested blocks ("-" alone with a deeper block below).
+func yparseSeq(lines []yline, i, indent int) (interface{}, int, error) {
+	var seq []interface{}
+	for i < len(lines) && lines[i].indent == indent && isSeqItem(lines[i].text) {
+		ln := lines[i]
+		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		if rest != "" {
+			v, err := yscalarOrFlow(rest, ln.num)
+			if err != nil {
+				return nil, i, err
+			}
+			seq = append(seq, v)
+			i++
+			continue
+		}
+		if i+1 < len(lines) && lines[i+1].indent > indent {
+			v, next, err := yparse(lines, i+1, lines[i+1].indent)
+			if err != nil {
+				return nil, i, err
+			}
+			seq = append(seq, v)
+			i = next
+			continue
+		}
+		seq = append(seq, nil)
+		i++
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, i, fmt.Errorf("yaml: line %d: unexpected indentation", lines[i].num)
+	}
+	return seq, i, nil
+}
+
+// cutKey splits "key: rest" (or "key:") at the first ':' outside quotes
+// that is followed by a space or ends the line.
+func cutKey(s string) (key, rest string, ok bool) {
+	inS, inD := false, false
+	for i, r := range s {
+		switch {
+		case r == '\'' && !inD:
+			inS = !inS
+		case r == '"' && !inS:
+			inD = !inD
+		case r == ':' && !inS && !inD:
+			if i+1 == len(s) {
+				return unquoteScalarKey(s[:i]), "", true
+			}
+			if s[i+1] == ' ' {
+				return unquoteScalarKey(s[:i]), strings.TrimSpace(s[i+1:]), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// unquoteScalarKey strips optional quotes from a mapping key.
+func unquoteScalarKey(s string) string {
+	s = strings.TrimSpace(s)
+	if v, err := yscalar(s, 0); err == nil {
+		if str, isStr := v.(string); isStr {
+			return str
+		}
+	}
+	return s
+}
+
+// yscalarOrFlow parses an inline value: a flow sequence "[a, b]" or a
+// scalar.
+func yscalarOrFlow(s string, num int) (interface{}, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("yaml: line %d: unterminated flow sequence", num)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []interface{}{}, nil
+		}
+		var seq []interface{}
+		for _, part := range splitFlow(inner) {
+			v, err := yscalar(strings.TrimSpace(part), num)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+		}
+		return seq, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("yaml: line %d: flow mappings are outside the supported subset", num)
+	}
+	return yscalar(s, num)
+}
+
+// splitFlow splits a flow-sequence body on commas outside quotes.
+func splitFlow(s string) []string {
+	var parts []string
+	inS, inD := false, false
+	start := 0
+	for i, r := range s {
+		switch {
+		case r == '\'' && !inD:
+			inS = !inS
+		case r == '"' && !inS:
+			inD = !inD
+		case r == ',' && !inS && !inD:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// yscalar parses one scalar: quoted strings, null, booleans, integers,
+// floats, and bare strings.
+func yscalar(s string, num int) (interface{}, error) {
+	switch {
+	case strings.HasPrefix(s, "\""):
+		v, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("yaml: line %d: bad string %s", num, s)
+		}
+		return v, nil
+	case strings.HasPrefix(s, "'"):
+		if len(s) < 2 || !strings.HasSuffix(s, "'") {
+			return nil, fmt.Errorf("yaml: line %d: bad string %s", num, s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	switch s {
+	case "null", "~":
+		return nil, nil
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}

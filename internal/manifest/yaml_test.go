@@ -1,0 +1,106 @@
+package manifest
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestYAMLEquivalentToJSON(t *testing.T) {
+	// The same manifest written both ways decodes to the same struct.
+	yaml := strings.Join([]string{
+		"# a comment",
+		"kind: chaos",
+		"grid:",
+		"  algorithms: [mcast-allgather, ring-allgather]",
+		"  scenarios:",
+		"    - quiet",
+		"    - flap-spine  # inline comment",
+		"  nodes: [32]",
+		"  sizes: [65536]",
+		"seed: 7",
+		"workers: 1",
+		"",
+	}, "\n")
+	jb, err := yamlToJSON([]byte(yaml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromYAML, err := Parse(jb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON := parseOK(t, `{
+		"kind": "chaos",
+		"grid": {
+			"algorithms": ["mcast-allgather", "ring-allgather"],
+			"scenarios": ["quiet", "flap-spine"],
+			"nodes": [32],
+			"sizes": [65536]
+		},
+		"seed": 7,
+		"workers": 1
+	}`)
+	if !reflect.DeepEqual(fromYAML, fromJSON) {
+		t.Fatalf("YAML and JSON decode differently:\n%+v\nvs\n%+v", fromYAML, fromJSON)
+	}
+}
+
+func TestYAMLScalars(t *testing.T) {
+	yaml := strings.Join([]string{
+		"kind: osu",
+		"name: \"quoted name\"",
+		"grid:",
+		"  algorithms: ['mcast-allgather']",
+		"  nodes: [16]",
+		"  sizes: \"4096:16384\"",
+		"osu:",
+		"  link_gbps: 56.5",
+		"",
+	}, "\n")
+	jb, err := yamlToJSON([]byte(yaml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Parse(jb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "quoted name" {
+		t.Fatalf("name = %q", m.Name)
+	}
+	if want := (Sizes{4096, 8192, 16384}); !reflect.DeepEqual(m.Grid.Sizes, want) {
+		t.Fatalf("sizes = %v, want %v", m.Grid.Sizes, want)
+	}
+	if m.OSU == nil || m.OSU.LinkGbps != 56.5 {
+		t.Fatalf("osu = %+v", m.OSU)
+	}
+}
+
+func TestYAMLRejections(t *testing.T) {
+	cases := []struct {
+		name, yaml, want string
+	}{
+		{"tab indent", "kind: osu\n\tname: x\n", "tabs"},
+		{"empty", "# only a comment\n", "empty document"},
+		{"flow mapping", "grid: {nodes: [8]}\n", "flow mapping"},
+		{"unterminated flow", "nodes: [8, 16\n", "unterminated"},
+		{"duplicate key", "kind: osu\nkind: chaos\n", "duplicate key"},
+		{"bare text", "kind osu\n", "key: value"},
+		{"dedent jump", "grid:\n    nodes: [8]\n  sizes: [4]\n", "indentation"},
+		{"unknown field via yaml", "kind: osu\nbogus: 1\n", "bogus"},
+	}
+	for _, c := range cases {
+		jb, err := yamlToJSON([]byte(c.yaml))
+		if err == nil {
+			_, err = Parse(jb)
+		}
+		if err == nil {
+			t.Errorf("%s: expected error containing %q, got nil", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}

@@ -40,38 +40,43 @@ func main() {
 	minMetrics := flag.String("min-metric", "", "comma-separated metrics gated as floors: the run fails when a value drops below baseline*(1-min-tol)-min-slack (throughput metrics like events_per_sec_per_core)")
 	minTol := flag.Float64("min-tol", 0.20, "relative drop tolerance for -min-metric floors")
 	minSlack := flag.Float64("min-slack", 0, "absolute slack subtracted below the relative floor")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
-	defer cli.StartCPUProfile()()
+	stop, err := cli.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fatalf(2, "benchjson: %v", err)
+	}
+	defer stop()
 
 	r := io.Reader(os.Stdin)
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
-			cli.Fatalf(2, "benchjson: %v", err)
+			fatalf(2, "benchjson: %v", err)
 		}
 		defer f.Close()
 		r = f
 	}
 	recs, err := parse(r)
 	if err != nil {
-		cli.Fatalf(1, "benchjson: %v", err)
+		fatalf(1, "benchjson: %v", err)
 	}
 	if len(recs) == 0 {
-		cli.Fatalf(1, "benchjson: no benchmark lines found")
+		fatalf(1, "benchjson: no benchmark lines found")
 	}
 	rep := sweep.Report{Name: *name, Records: recs}
 	if err := sweep.WriteFiles(rep, *out, ""); err != nil {
-		cli.Fatalf(1, "benchjson: %v", err)
+		fatalf(1, "benchjson: %v", err)
 	}
 	if err := sweep.WriteTable(os.Stdout, recs); err != nil {
-		cli.Fatalf(1, "benchjson: %v", err)
+		fatalf(1, "benchjson: %v", err)
 	}
 	if *baseline == "" {
 		return
 	}
 	base, err := sweep.LoadFile(*baseline)
 	if err != nil {
-		cli.Fatalf(1, "benchjson: %v", err)
+		fatalf(1, "benchjson: %v", err)
 	}
 	failed := gate(base, rep, strings.Split(*metrics, ","), *tol, *slack)
 	if *minMetrics != "" {
@@ -80,6 +85,13 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// fatalf prints to stderr and exits with the given code (2 invalid
+// flags, 1 runtime failure), matching the repro exit-code convention.
+func fatalf(code int, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
 }
 
 // parse extracts one Record per benchmark result line. A line looks like
