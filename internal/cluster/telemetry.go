@@ -1,0 +1,16 @@
+package cluster
+
+import "repro/internal/telemetry"
+
+// CollectTelemetry exports the transport counters of every node's verbs
+// context into reg. Node map iteration order is nondeterministic, but the
+// per-context export only sums into counters, which commutes. A nil
+// registry is a no-op.
+func (cl *Cluster) CollectTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, n := range cl.nodes {
+		n.Ctx.CollectTelemetry(reg)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/dpa"
 	"repro/internal/fabric"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/verbs"
 )
@@ -42,6 +43,9 @@ type Config struct {
 	KnomialRadix int
 	// VerifyData backs all buffers with real bytes.
 	VerifyData bool
+	// Metrics, when set, records one span and one counter increment per
+	// completed collective. Nil adds no cost.
+	Metrics *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -190,6 +194,10 @@ func (d *opDriver) rankDone(p *peer) {
 	d.remaining--
 	if d.remaining == 0 {
 		d.res.End = d.t.eng.Now()
+		if m := d.t.cfg.Metrics; m != nil {
+			m.Span("coll", d.res.Kind, d.res.Start, d.res.End)
+			m.Counter("coll", "ops_total", "kind="+d.res.Kind, telemetry.Stable).Add(1)
+		}
 		if d.cb != nil {
 			d.cb(d.res)
 		}

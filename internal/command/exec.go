@@ -12,17 +12,22 @@ import (
 	"repro/internal/cli"
 	"repro/internal/harness"
 	"repro/internal/manifest"
+	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 // common is the flag surface shared by every subcommand that executes a
-// plan: output targets, pool/engine sizing, and diagnostics.
+// plan: output targets, pool/engine sizing, telemetry, and diagnostics.
 type common struct {
-	jsonPath   string
-	csvPath    string
-	workers    int
-	shards     int
-	cpuprofile string
+	jsonPath     string
+	csvPath      string
+	workers      int
+	shards       int
+	cpuprofile   string
+	telemetry    bool
+	metricsPath  string
+	perfettoPath string
 }
 
 // registerCommon adds the shared flags to a subcommand's FlagSet. The
@@ -35,6 +40,9 @@ func (c *common) register(fs *flag.FlagSet, workersDefault int) {
 	fs.IntVar(&c.workers, "workers", workersDefault, "sweep worker goroutines (0 = GOMAXPROCS)")
 	fs.IntVar(&c.shards, "shards", 1, "engine shards for conservative parallel execution (1 = serial; results are identical at any value)")
 	fs.StringVar(&c.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	fs.BoolVar(&c.telemetry, "telemetry", false, "collect the deterministic metrics registry during the sweep")
+	fs.StringVar(&c.metricsPath, "metrics", "", "write canonical telemetry metrics.json to this path (implies -telemetry)")
+	fs.StringVar(&c.perfettoPath, "perfetto", "", "write a Perfetto/Chrome trace of the representative run to this path (implies -telemetry)")
 }
 
 // validate is the shared exit-code-2 gate for the common flags. A
@@ -46,6 +54,8 @@ func (c *common) validate() []error {
 		cli.Writable("json", c.jsonPath),
 		cli.Writable("csv", c.csvPath),
 		cli.Writable("cpuprofile", c.cpuprofile),
+		cli.Writable("metrics", c.metricsPath),
+		cli.Writable("perfetto", c.perfettoPath),
 	}
 	if c.workers != -1 {
 		checks = append(checks, cli.NonNegative("workers", c.workers))
@@ -66,6 +76,17 @@ func (c *common) apply(m *manifest.Manifest) {
 	}
 	if c.shards > 1 || m.Shards == 0 {
 		m.Shards = c.shards
+	}
+	if c.telemetry || c.metricsPath != "" || c.perfettoPath != "" {
+		if m.Telemetry == nil {
+			m.Telemetry = &manifest.TelemetrySpec{}
+		}
+		if c.metricsPath != "" {
+			m.Telemetry.Metrics = c.metricsPath
+		}
+		if c.perfettoPath != "" {
+			m.Telemetry.Perfetto = c.perfettoPath
+		}
 	}
 }
 
@@ -102,7 +123,8 @@ func execute(cmd string, m manifest.Manifest, diag diagnostics, stdout, stderr i
 	if err != nil {
 		return fail(stderr, 2, "%s: %v", cmd, err)
 	}
-	if diag.trace != "" && plan.Trace == nil {
+	needTrace := diag.trace != "" || (m.Telemetry != nil && m.Telemetry.Perfetto != "")
+	if needTrace && plan.Trace == nil {
 		return fail(stderr, 2, "%s: kind %s has no traceable point", cmd, m.Kind)
 	}
 	stop, err := cli.StartCPUProfile(diag.cpuprofile)
@@ -115,6 +137,15 @@ func execute(cmd string, m manifest.Manifest, diag diagnostics, stdout, stderr i
 		shards = 1
 	}
 	harness.SetShards(shards)
+	var telCfg telemetry.Config
+	if m.Telemetry != nil {
+		telCfg = telemetry.Config{
+			Enabled:      true,
+			SamplePeriod: sim.Time(m.Telemetry.SamplePeriodUS) * sim.Microsecond,
+			Filters:      m.Telemetry.Filters,
+		}
+	}
+	harness.SetTelemetry(telCfg)
 	rep, err := plan.Execute(m.Workers, stdout)
 	if err != nil {
 		return fail(stderr, 1, "%s: %v", cmd, err)
@@ -145,13 +176,56 @@ func execute(cmd string, m manifest.Manifest, diag diagnostics, stdout, stderr i
 		}
 	}
 
-	if diag.trace != "" {
-		timeline, err := plan.Trace()
+	// The text timeline and the Perfetto export come from one traced run, so
+	// the two renderings can never describe different executions.
+	if needTrace {
+		bundle, err := plan.Trace()
 		if err != nil {
 			return fail(stderr, 1, "%s: trace: %v", cmd, err)
 		}
-		if err := os.WriteFile(diag.trace, []byte(timeline), 0o644); err != nil {
-			return fail(stderr, 1, "%s: trace: %v", cmd, err)
+		if diag.trace != "" {
+			if err := os.WriteFile(diag.trace, []byte(bundle.Timeline()), 0o644); err != nil {
+				return fail(stderr, 1, "%s: trace: %v", cmd, err)
+			}
+		}
+		if m.Telemetry != nil && m.Telemetry.Perfetto != "" {
+			f, err := os.Create(m.Telemetry.Perfetto)
+			if err != nil {
+				return fail(stderr, 1, "%s: perfetto: %v", cmd, err)
+			}
+			if err := bundle.WritePerfetto(f); err != nil {
+				f.Close()
+				return fail(stderr, 1, "%s: perfetto: %v", cmd, err)
+			}
+			if err := f.Close(); err != nil {
+				return fail(stderr, 1, "%s: perfetto: %v", cmd, err)
+			}
+		}
+	}
+
+	if m.Telemetry != nil && m.Telemetry.Metrics != "" {
+		doc := telemetry.Document{Name: rep.Name}
+		for i := range rep.Records {
+			rec := &rep.Records[i]
+			if rec.Telemetry == nil {
+				continue
+			}
+			doc.Points = append(doc.Points, telemetry.Point{
+				Key:     rec.Spec.Key(),
+				Metrics: rec.Telemetry.Metrics,
+			})
+		}
+		enc := doc.Encode()
+		if err := os.WriteFile(m.Telemetry.Metrics, enc, 0o644); err != nil {
+			return fail(stderr, 1, "%s: metrics: %v", cmd, err)
+		}
+		if m.Telemetry.Expect != "" {
+			sum := sha256.Sum256(enc)
+			got := hex.EncodeToString(sum[:])
+			if got != m.Telemetry.Expect {
+				return fail(stderr, 1, "%s: metrics digest %s does not match telemetry.expect_sha256 %s", cmd, got, m.Telemetry.Expect)
+			}
+			fmt.Fprintf(stdout, "# metrics digest matches telemetry.expect_sha256\n")
 		}
 	}
 

@@ -70,12 +70,14 @@ func runAG(args []string, stdout, stderr io.Writer) int {
 	fig := fs.Int("fig", 0, "figure to regenerate (10 or 11)")
 	nodesFlag := fs.String("nodes", "", "comma-separated node counts (fig 10) or single count (fig 11)")
 	sizesFlag := fs.String("sizes", "", "comma-separated message sizes in bytes")
+	tracePath := fs.String("trace", "", "write the protocol phase timeline of one representative run to this file")
 	var c common
 	c.register(fs, 0)
 	if code := parseFlags(fs, args, stderr); code >= 0 {
 		return code
 	}
-	if err := cli.Validate("ag", c.validate()...); err != nil {
+	checks := append(c.validate(), cli.Writable("trace", *tracePath))
+	if err := cli.Validate("ag", checks...); err != nil {
 		return fail(stderr, 2, "%v", err)
 	}
 	m := manifest.Manifest{Kind: "ag", Figures: []int{*fig}}
@@ -98,7 +100,7 @@ func runAG(args []string, stdout, stderr io.Writer) int {
 		m.Grid.Sizes = sizes
 	}
 	c.apply(&m)
-	return execute("ag", m, diagnostics{cpuprofile: c.cpuprofile}, stdout, stderr)
+	return execute("ag", m, diagnostics{trace: *tracePath, cpuprofile: c.cpuprofile}, stdout, stderr)
 }
 
 // runTraffic is the Figure 12 switch-traffic shim (was cmd/trafficbench).
@@ -107,12 +109,15 @@ func runTraffic(args []string, stdout, stderr io.Writer) int {
 	nodes := fs.Int("nodes", 188, "participating nodes (2..188)")
 	msg := fs.Int("msg", 64<<10, "message size in bytes (> 0)")
 	iters := fs.Int("iters", 10, "measured iterations (> 0)")
+	tracePath := fs.String("trace", "", "write the protocol phase timeline of one representative run to this file")
 	var c common
 	c.register(fs, 0)
 	if code := parseFlags(fs, args, stderr); code >= 0 {
 		return code
 	}
-	checks := append(c.validate(), cli.Positive("iters", *iters))
+	checks := append(c.validate(),
+		cli.Positive("iters", *iters),
+		cli.Writable("trace", *tracePath))
 	if err := cli.Validate("traffic", checks...); err != nil {
 		return fail(stderr, 2, "%v", err)
 	}
@@ -122,7 +127,7 @@ func runTraffic(args []string, stdout, stderr io.Writer) int {
 		Traffic: &manifest.TrafficSpec{Iters: *iters},
 	}
 	c.apply(&m)
-	return execute("traffic", m, diagnostics{cpuprofile: c.cpuprofile}, stdout, stderr)
+	return execute("traffic", m, diagnostics{trace: *tracePath, cpuprofile: c.cpuprofile}, stdout, stderr)
 }
 
 // runDPA is the SmartNIC-offloading experiments shim (was cmd/dpabench).
@@ -131,12 +136,14 @@ func runDPA(args []string, stdout, stderr io.Writer) int {
 	fig := fs.Int("fig", 0, "figure to regenerate (5, 13, 14, 15, 16)")
 	table := fs.Int("table", 0, "table to regenerate (1)")
 	all := fs.Bool("all", false, "run every DPA experiment")
+	tracePath := fs.String("trace", "", "write the protocol phase timeline of one representative run to this file (dpa has no traceable point; rejected at run time)")
 	var c common
 	c.register(fs, 0)
 	if code := parseFlags(fs, args, stderr); code >= 0 {
 		return code
 	}
-	if err := cli.Validate("dpa", c.validate()...); err != nil {
+	checks := append(c.validate(), cli.Writable("trace", *tracePath))
+	if err := cli.Validate("dpa", checks...); err != nil {
 		return fail(stderr, 2, "%v", err)
 	}
 	m := manifest.Manifest{Kind: "dpa", All: *all}
@@ -147,7 +154,7 @@ func runDPA(args []string, stdout, stderr io.Writer) int {
 		m.Tables = []int{*table}
 	}
 	c.apply(&m)
-	return execute("dpa", m, diagnostics{cpuprofile: c.cpuprofile}, stdout, stderr)
+	return execute("dpa", m, diagnostics{trace: *tracePath, cpuprofile: c.cpuprofile}, stdout, stderr)
 }
 
 // runCost is the analytic cost-model shim (was cmd/costmodel).
@@ -157,12 +164,14 @@ func runCost(args []string, stdout, stderr io.Writer) int {
 	speedup := fs.Bool("speedup", false, "Appendix B concurrent {AG,RS} study")
 	economics := fs.Bool("economics", false, "§VII SmartNIC offloading economics")
 	all := fs.Bool("all", false, "run everything")
+	tracePath := fs.String("trace", "", "write the protocol phase timeline of one representative run to this file (cost has no traceable point; rejected at run time)")
 	var c common
 	c.register(fs, 0)
 	if code := parseFlags(fs, args, stderr); code >= 0 {
 		return code
 	}
-	if err := cli.Validate("cost", c.validate()...); err != nil {
+	checks := append(c.validate(), cli.Writable("trace", *tracePath))
+	if err := cli.Validate("cost", checks...); err != nil {
 		return fail(stderr, 2, "%v", err)
 	}
 	m := manifest.Manifest{Kind: "cost", Speedup: *speedup, Economics: *economics, All: *all}
@@ -170,7 +179,7 @@ func runCost(args []string, stdout, stderr io.Writer) int {
 		m.Figures = []int{*fig}
 	}
 	c.apply(&m)
-	return execute("cost", m, diagnostics{cpuprofile: c.cpuprofile}, stdout, stderr)
+	return execute("cost", m, diagnostics{trace: *tracePath, cpuprofile: c.cpuprofile}, stdout, stderr)
 }
 
 // runChaos is the perturbation-scenario shim (was cmd/chaosbench).
@@ -181,12 +190,14 @@ func runChaos(args []string, stdout, stderr io.Writer) int {
 	nodes := fs.Int("nodes", 32, "participating nodes (2..188)")
 	msg := fs.Int("msg", 64<<10, "message size in bytes (> 0)")
 	seed := fs.Uint64("seed", 7, "base sweep seed (per-point seeds derive from it)")
+	tracePath := fs.String("trace", "", "write the protocol phase timeline of one representative perturbed run to this file")
 	var c common
 	c.register(fs, 0)
 	if code := parseFlags(fs, args, stderr); code >= 0 {
 		return code
 	}
-	if err := cli.Validate("chaos", c.validate()...); err != nil {
+	checks := append(c.validate(), cli.Writable("trace", *tracePath))
+	if err := cli.Validate("chaos", checks...); err != nil {
 		return fail(stderr, 2, "%v", err)
 	}
 	scenarios := []string{"all"}
@@ -204,7 +215,7 @@ func runChaos(args []string, stdout, stderr io.Writer) int {
 		Seed: seed,
 	}
 	c.apply(&m)
-	return execute("chaos", m, diagnostics{cpuprofile: c.cpuprofile}, stdout, stderr)
+	return execute("chaos", m, diagnostics{trace: *tracePath, cpuprofile: c.cpuprofile}, stdout, stderr)
 }
 
 // runTrain is the training-workload shim (was cmd/trainbench).

@@ -38,6 +38,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fabric"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/verbs"
@@ -86,6 +87,9 @@ type Config struct {
 	// Tracer, when set, records protocol phase transitions (the Figure 9
 	// execution-flow view). Nil adds no cost.
 	Tracer *trace.Recorder
+	// Metrics, when set, counts protocol phase transitions per phase name.
+	// Nil adds no cost.
+	Metrics *telemetry.Registry
 }
 
 func (c Config) withDefaults(mtu int) Config {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bitmap"
 	"repro/internal/dpa"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/verbs"
 )
@@ -88,6 +89,9 @@ type opState struct {
 // rec traces a phase transition (no-op when tracing is off).
 func (op *opState) rec(phase, detail string) {
 	op.r.comm.cfg.Tracer.Record(op.r.comm.eng.Now(), op.r.id, op.seq, phase, detail)
+	if m := op.r.comm.cfg.Metrics; m != nil {
+		m.Counter("core", "phase_total", "phase="+phase, telemetry.Stable).Add(1)
+	}
 }
 
 // psn/immediate encoding: [31:24] low bits of the operation sequence (the

@@ -110,6 +110,10 @@ type PortStats struct {
 	// Incast congestion (the §IV-A motivation for the broadcast sequencer)
 	// and scenario-injected hotspots show up here.
 	MaxBacklog sim.Time
+	// Busy accumulates serialization time booked on this channel — the
+	// virtual time its serializer spent occupied. Busy over the run span
+	// is the channel's utilization; telemetry ranks channels by it.
+	Busy sim.Time
 }
 
 // channel is one direction of a link: a serializing resource. baseBw is the
@@ -312,6 +316,7 @@ func (f *Fabric) transmit(pkt *Packet, node topology.NodeID, port int) sim.Time 
 	ch.nextFree = start + serialize
 	ch.stats.Packets++
 	ch.stats.Bytes += uint64(size)
+	ch.stats.Busy += serialize
 
 	// Fabric drop: the packet occupies the channel but never arrives. A
 	// scenario override replaces the global rate on this channel.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/verbs"
@@ -88,6 +89,14 @@ func RxKernel(s sweep.Spec) (sweep.Record, error) {
 		"cycles_cqe": float64(r.Profile.LatencyCycles),
 	}}
 	addEngineCounts(&rec, r.Events, r.EventsScheduled, r.EventsRecycled)
+	if reg := newRegistry(); reg != nil {
+		// The microbenchmark's engine is out of scope here; export the
+		// counter snapshot its result carries.
+		reg.Counter("sim", "events", "", telemetry.Stable).Add(r.Events)
+		reg.Counter("sim", "scheduled", "", telemetry.Stable).Add(r.EventsScheduled)
+		reg.Counter("sim", "recycled", "", telemetry.Stable).Add(r.EventsRecycled)
+		rec.Telemetry = reg.Snapshot()
+	}
 	return rec, nil
 }
 
@@ -104,25 +113,47 @@ func opForAlgo(algo string) (collective.Kind, error) {
 // hosts. Shared by CollKernel and ResilienceKernel so the quiet-scenario
 // anchor of slowdown_vs_quiet cannot drift from the plain collective
 // kernel.
-func collPoint(s sweep.Spec) (sweep.Spec, *fabric.Fabric, collective.Algorithm, error) {
+func collPoint(s sweep.Spec) (collPt, error) {
+	pt := collPt{spec: s}
 	if s.Op == "" {
 		kind, err := opForAlgo(s.Algorithm)
 		if err != nil {
-			return s, nil, nil, err
+			return pt, err
 		}
 		s.Op = string(kind)
+		pt.spec = s
 	}
 	_, f := testbedFabric(s.Seed, 0)
 	hosts := f.Graph().Hosts()
 	if s.Nodes < 1 || s.Nodes > len(hosts) {
-		return s, nil, nil, fmt.Errorf("harness: %d nodes exceed testbed (%d)", s.Nodes, len(hosts))
+		return pt, fmt.Errorf("harness: %d nodes exceed testbed (%d)", s.Nodes, len(hosts))
 	}
-	alg, err := registry.New(cluster.New(f, cluster.Config{}), s.Algorithm, registry.Options{
+	reg := newRegistry()
+	cl := cluster.New(f, cluster.Config{Verbs: verbs.Config{Metrics: reg}})
+	alg, err := registry.New(cl, s.Algorithm, registry.Options{
 		Hosts: hosts[:s.Nodes],
-		Core:  core.Config{Transport: verbs.UD},
-		Coll:  coll.Config{ChunkBytes: s.ChunkSize},
+		Core:  core.Config{Transport: verbs.UD, Metrics: reg},
+		Coll:  coll.Config{ChunkBytes: s.ChunkSize, Metrics: reg},
 	})
-	return s, f, alg, err
+	pt.f, pt.cl, pt.alg, pt.reg = f, cl, alg, reg
+	pt.sampler = armFabricTelemetry(reg, f)
+	return pt, err
+}
+
+// collPt is one resolved collective grid point: the model stack plus the
+// point's telemetry registry (nil when disabled) and its fabric sampler.
+type collPt struct {
+	spec    sweep.Spec
+	f       *fabric.Fabric
+	cl      *cluster.Cluster
+	alg     collective.Algorithm
+	reg     *telemetry.Registry
+	sampler *telemetry.Sampler
+}
+
+// finish runs the end-of-point telemetry collection into rec.
+func (pt *collPt) finish(rec *sweep.Record) {
+	finishTelemetry(rec, pt.reg, pt.f.Engine(), pt.f, pt.cl)
 }
 
 // CollKernel is the sweep kernel for at-scale collectives on the 188-node
@@ -131,11 +162,12 @@ func collPoint(s sweep.Spec) (sweep.Spec, *fabric.Fabric, collective.Algorithm, 
 // (with the per-rank critical-path extension where the protocol provides
 // it). The optional ChunkSize axis tunes the P2P baselines.
 func CollKernel(s sweep.Spec) (sweep.Record, error) {
-	s, f, alg, err := collPoint(s)
+	pt, err := collPoint(s)
 	if err != nil {
 		return sweep.Record{}, err
 	}
-	res, err := alg.Run(collective.Op{Kind: collective.Kind(s.Op), Bytes: s.MsgBytes})
+	s = pt.spec
+	res, err := pt.alg.Run(collective.Op{Kind: collective.Kind(s.Op), Bytes: s.MsgBytes})
 	if err != nil {
 		return sweep.Record{}, err
 	}
@@ -143,7 +175,8 @@ func CollKernel(s sweep.Spec) (sweep.Record, error) {
 		"gibps":       res.AlgBandwidth() / (1 << 30),
 		"duration_us": res.Duration().Micros(),
 	}}
-	addEngineMetrics(&rec, f.Engine())
+	addEngineMetrics(&rec, pt.f.Engine())
+	pt.finish(&rec)
 	if len(res.PerRank) > 0 {
 		var bar, mc, fin, tot []float64
 		for _, rs := range res.PerRank {
@@ -301,9 +334,11 @@ func Fig12Kernel(iters int) sweep.Func {
 		}
 		s.Op = string(kind)
 		_, f := testbedFabric(s.Seed, 0)
-		alg, err := registry.New(cluster.New(f, cluster.Config{}), s.Algorithm, registry.Options{
+		reg := newRegistry()
+		cl := cluster.New(f, cluster.Config{Verbs: verbs.Config{Metrics: reg}})
+		alg, err := registry.New(cl, s.Algorithm, registry.Options{
 			Hosts: f.Graph().Hosts()[:s.Nodes],
-			Core:  core.Config{Transport: verbs.UD},
+			Core:  core.Config{Transport: verbs.UD, Metrics: reg},
 		})
 		if err != nil {
 			return sweep.Record{}, err
@@ -312,15 +347,22 @@ func Fig12Kernel(iters int) sweep.Func {
 		if _, err := alg.Run(op); err != nil {
 			return sweep.Record{}, fmt.Errorf("warmup: %w", err)
 		}
+		// Counters (including per-channel telemetry stats) reset after
+		// warmup, matching the paper's methodology: the exported fabric
+		// metrics cover only the measured iterations.
 		f.ResetCounters()
+		sampler := armFabricTelemetry(reg, f)
 		for i := 0; i < iters; i++ {
+			sampler.Arm()
 			if _, err := alg.Run(op); err != nil {
 				return sweep.Record{}, fmt.Errorf("iter %d: %w", i, err)
 			}
 		}
-		return sweep.Record{Spec: s, Metrics: map[string]float64{
+		rec := sweep.Record{Spec: s, Metrics: map[string]float64{
 			"switch_bytes": float64(f.SwitchPortBytes()),
-		}}, nil
+		}}
+		finishTelemetry(&rec, reg, f.Engine(), f, cl)
+		return rec, nil
 	}
 }
 
@@ -390,7 +432,9 @@ func AppBKernel(s sweep.Spec) (sweep.Record, error) {
 	g := topology.Star(s.Nodes)
 	eng := newEngine(s.Seed, g, fabric.Config{})
 	f := fabric.New(eng, g, fabric.Config{})
-	cl := cluster.New(f, cluster.Config{})
+	reg := newRegistry()
+	cl := cluster.New(f, cluster.Config{Verbs: verbs.Config{Metrics: reg}})
+	armFabricTelemetry(reg, f)
 	rep, err := workload.Run(cl, workload.Workload{Name: s.Algorithm, Jobs: []workload.Job{{
 		Name:  "pair",
 		Comms: []workload.Comm{ag, rs},
@@ -412,10 +456,13 @@ func AppBKernel(s sweep.Spec) (sweep.Record, error) {
 		}
 	}
 	span := maxTime(agR.End, rsR.End) - minTime(agR.Start, rsR.Start)
-	return sweep.Record{Spec: s, Metrics: map[string]float64{
+	rec := sweep.Record{Spec: s, Metrics: map[string]float64{
 		"span_ns":       float64(span),
 		"model_speedup": model.SpeedupINC(s.Nodes),
-	}}, nil
+	}}
+	rep.ExportTelemetry(reg)
+	finishTelemetry(&rec, reg, eng, f, cl)
+	return rec, nil
 }
 
 // AppBRecords runs both configurations at every scale; ring-pair records
@@ -425,39 +472,50 @@ func AppBRecords(ps []int, n int) ([]sweep.Record, error) {
 }
 
 // CollTrace runs one collective point of the OSU sweep with a trace
-// recorder attached to the protocol state machines and returns the
-// Figure-9 phase timeline (task dispatch, RNR barrier, multicast start /
-// finish per rank, recovery actions, final handshake). The traced run is
-// separate from the sweep records, so attaching it never perturbs their
-// byte-identity; P2P baselines have no tracer and yield "(no events)".
-func CollTrace(s sweep.Spec, linkGbps float64) (string, error) {
+// recorder attached to the protocol state machines and an always-on
+// telemetry registry, and returns the bundle: the Figure-9 phase events
+// (task dispatch, RNR barrier, multicast start / finish per rank, recovery
+// actions, final handshake) plus the run's metric snapshot. The bundle
+// renders as the legacy text timeline (-trace) or as a Perfetto JSON
+// document (-perfetto). The traced run is separate from the sweep records,
+// so attaching it never perturbs their byte-identity; P2P baselines have no
+// tracer and yield "(no events)" — their telemetry still populates the
+// bundle.
+func CollTrace(s sweep.Spec, linkGbps float64) (*telemetry.Bundle, error) {
 	rec := &trace.Recorder{}
 	if s.Op == "" {
 		kind, err := opForAlgo(s.Algorithm)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		s.Op = string(kind)
 	}
 	linkBw := linkGbps * 1e9 / 8
 	g := topology.Testbed188()
 	if s.Nodes < 1 || s.Nodes > len(g.Hosts()) {
-		return "", fmt.Errorf("harness: nodes must be in [1,%d]", len(g.Hosts()))
+		return nil, fmt.Errorf("harness: nodes must be in [1,%d]", len(g.Hosts()))
 	}
 	fcfg := fabric.Config{LinkBandwidth: linkBw}
 	eng := newEngine(s.Seed, g, fcfg)
 	f := fabric.New(eng, g, fcfg)
-	alg, err := registry.New(cluster.New(f, cluster.Config{}), s.Algorithm, registry.Options{
+	reg := traceRegistry()
+	cl := cluster.New(f, cluster.Config{Verbs: verbs.Config{Metrics: reg}})
+	alg, err := registry.New(cl, s.Algorithm, registry.Options{
 		Hosts: g.Hosts()[:s.Nodes],
-		Core:  core.Config{Tracer: rec},
+		Core:  core.Config{Tracer: rec, Metrics: reg},
+		Coll:  coll.Config{Metrics: reg},
 	})
 	if err != nil {
-		return "", err
+		return nil, err
 	}
+	armFabricTelemetry(reg, f)
 	if _, err := alg.Run(collective.Op{Kind: collective.Kind(s.Op), Bytes: s.MsgBytes}); err != nil {
-		return "", err
+		return nil, err
 	}
-	return rec.Timeline(), nil
+	collectEngineTelemetry(reg, eng)
+	f.CollectTelemetry(reg)
+	cl.CollectTelemetry(reg)
+	return &telemetry.Bundle{Events: rec.Events, Snap: reg.Snapshot()}, nil
 }
 
 // --- OSU-style kernel ------------------------------------------------------------
@@ -504,8 +562,12 @@ func OSUKernel(cfg OSUConfig) sweep.Func {
 		}
 		eng := newEngine(s.Seed, g, fcfg)
 		f := fabric.New(eng, g, fcfg)
-		alg, err := registry.New(cluster.New(f, cluster.Config{}), s.Algorithm, registry.Options{
+		reg := newRegistry()
+		cl := cluster.New(f, cluster.Config{Verbs: verbs.Config{Metrics: reg}})
+		alg, err := registry.New(cl, s.Algorithm, registry.Options{
 			Hosts: g.Hosts()[:s.Nodes],
+			Core:  core.Config{Metrics: reg},
+			Coll:  coll.Config{Metrics: reg},
 		})
 		if err != nil {
 			return sweep.Record{}, err
@@ -515,9 +577,13 @@ func OSUKernel(cfg OSUConfig) sweep.Func {
 			return sweep.Record{}, fmt.Errorf("harness: %s does not support %s of %d bytes on %d nodes",
 				s.Algorithm, op.Kind, op.Bytes, s.Nodes)
 		}
+		sampler := armFabricTelemetry(reg, f)
 		var lat []float64
 		var last *collective.Result
 		for i := 0; i < cfg.Warmup+cfg.Iters; i++ {
+			// The sampler self-terminates when the queue drains between
+			// iterations; re-arm it so each iteration is sampled.
+			sampler.Arm()
 			res, err := alg.Run(op)
 			if err != nil {
 				return sweep.Record{}, fmt.Errorf("iter %d: %w", i, err)
@@ -539,6 +605,7 @@ func OSUKernel(cfg OSUConfig) sweep.Func {
 			"gibps":        last.RecvPerRank() / (sum.Median / 1e6) / (1 << 30),
 		}}
 		addEngineMetrics(&rec, eng)
+		finishTelemetry(&rec, reg, eng, f, cl)
 		return rec, nil
 	}
 }

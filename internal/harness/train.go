@@ -8,8 +8,10 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
+	"repro/internal/verbs"
 	"repro/internal/workload"
 )
 
@@ -46,7 +48,7 @@ func TrainGrid(workloads []string, nodes, shardBytes []int, scenarios []string, 
 // trainPoint builds the point's fabric and workload: a star topology sized
 // by the workload's host demand (full-bandwidth, as the FSDP scenario of
 // Appendix B assumes).
-func trainPoint(s sweep.Spec, cfg TrainConfig, tr *trace.Recorder) (*cluster.Cluster, workload.Workload, error) {
+func trainPoint(s sweep.Spec, cfg TrainConfig, tr *trace.Recorder, reg *telemetry.Registry) (*cluster.Cluster, workload.Workload, error) {
 	w, err := workload.New(s.Workload, workload.Config{
 		Nodes:      s.Nodes,
 		Layers:     cfg.Layers,
@@ -54,6 +56,7 @@ func trainPoint(s sweep.Spec, cfg TrainConfig, tr *trace.Recorder) (*cluster.Clu
 		Compute:    cfg.Compute,
 		Jobs:       cfg.Jobs,
 		Tracer:     tr,
+		Metrics:    reg,
 	})
 	if err != nil {
 		return nil, workload.Workload{}, err
@@ -68,7 +71,9 @@ func trainPoint(s sweep.Spec, cfg TrainConfig, tr *trace.Recorder) (*cluster.Clu
 	g := topology.Star(hosts)
 	eng := newEngine(s.Seed, g, fabric.Config{})
 	f := fabric.New(eng, g, fabric.Config{})
-	return cluster.New(f, cluster.Config{}), w, nil
+	cl := cluster.New(f, cluster.Config{Verbs: verbs.Config{Metrics: reg}})
+	armFabricTelemetry(reg, f)
+	return cl, w, nil
 }
 
 // TrainKernel returns the sweep kernel for workload points: it executes the
@@ -79,7 +84,8 @@ func trainPoint(s sweep.Spec, cfg TrainConfig, tr *trace.Recorder) (*cluster.Clu
 // (workload, overlap_frac) alongside the metrics.
 func TrainKernel(cfg TrainConfig) sweep.Func {
 	return func(s sweep.Spec) (sweep.Record, error) {
-		cl, w, err := trainPoint(s, cfg, nil)
+		reg := newRegistry()
+		cl, w, err := trainPoint(s, cfg, nil, reg)
 		if err != nil {
 			return sweep.Record{}, err
 		}
@@ -157,6 +163,8 @@ func TrainKernel(cfg TrainConfig) sweep.Func {
 			},
 		}
 		addEngineMetrics(&rec, eng)
+		rep.ExportTelemetry(reg)
+		finishTelemetry(&rec, reg, eng, f, cl)
 		return rec, nil
 	}
 }
@@ -176,18 +184,27 @@ func TrainRecords(g sweep.Grid, workers int, cfg TrainConfig) ([]sweep.Record, e
 }
 
 // TrainTrace re-runs one workload point with a trace recorder attached to
-// its multicast communicators and returns the Figure-9 phase timeline. The
-// traced run is separate from the sweep records, so attaching it never
-// perturbs their byte-identity. P2P-only workloads produce an empty
-// timeline (the baselines have no protocol tracer).
-func TrainTrace(s sweep.Spec, cfg TrainConfig) (string, error) {
+// its multicast communicators and an always-on telemetry registry, and
+// returns the bundle: protocol phase events plus per-job workload spans and
+// the metric snapshot. The traced run is separate from the sweep records,
+// so attaching it never perturbs their byte-identity. P2P-only workloads
+// produce an empty timeline (the baselines have no protocol tracer) but
+// still carry workload spans and fabric metrics in the bundle.
+func TrainTrace(s sweep.Spec, cfg TrainConfig) (*telemetry.Bundle, error) {
 	rec := &trace.Recorder{}
-	cl, w, err := trainPoint(s, cfg, rec)
+	reg := traceRegistry()
+	cl, w, err := trainPoint(s, cfg, rec, reg)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	if _, err := workload.Run(cl, w); err != nil {
-		return "", err
+	rep, err := workload.Run(cl, w)
+	if err != nil {
+		return nil, err
 	}
-	return rec.Timeline(), nil
+	f := cl.Fabric()
+	rep.ExportTelemetry(reg)
+	collectEngineTelemetry(reg, f.Engine())
+	f.CollectTelemetry(reg)
+	cl.CollectTelemetry(reg)
+	return &telemetry.Bundle{Events: rec.Events, Snap: reg.Snapshot()}, nil
 }

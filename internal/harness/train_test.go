@@ -101,14 +101,18 @@ func TestTrainScenarioSlowdown(t *testing.T) {
 // sweep.
 func TestTrainTraceTimeline(t *testing.T) {
 	spec := TrainGrid([]string{"fsdp-inc"}, []int{4}, []int{16 << 10}, nil, 3).Expand()[0]
-	timeline, err := TrainTrace(spec, TrainConfig{Layers: 1})
+	bundle, err := TrainTrace(spec, TrainConfig{Layers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
+	timeline := bundle.Timeline()
 	for _, phase := range []string{"dispatch", "barrier", "done"} {
 		if !strings.Contains(timeline, phase) {
 			t.Fatalf("timeline missing %q:\n%.400s", phase, timeline)
 		}
+	}
+	if bundle.Snap == nil || len(bundle.Snap.Spans) == 0 {
+		t.Fatal("traced bundle carries no workload spans")
 	}
 }
 
@@ -116,19 +120,19 @@ func TestTrainTraceTimeline(t *testing.T) {
 // multicast run and the (no events) P2P fallback.
 func TestCollTraceTimeline(t *testing.T) {
 	s := sweep.Spec{Algorithm: "mcast-allgather", Nodes: 4, MsgBytes: 16 << 10, Seed: 5}
-	timeline, err := CollTrace(s, 56)
+	bundle, err := CollTrace(s, 56)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(timeline, "dispatch") {
+	if timeline := bundle.Timeline(); !strings.Contains(timeline, "dispatch") {
 		t.Fatalf("mcast timeline missing dispatch:\n%.200s", timeline)
 	}
 	s.Algorithm = "ring-allgather"
-	timeline, err = CollTrace(s, 56)
+	bundle, err = CollTrace(s, 56)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(timeline, "no events") {
+	if timeline := bundle.Timeline(); !strings.Contains(timeline, "no events") {
 		t.Fatalf("ring timeline = %q, want (no events)", timeline)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -25,11 +26,13 @@ type Plan struct {
 	// Sections are executed in order; their records concatenate into the
 	// report.
 	Sections []Section
-	// Trace re-runs one representative point with a protocol tracer
-	// attached and returns the Figure-9 phase timeline; nil when the kind
-	// has no traceable point. The traced run is separate from the sweep,
-	// so records stay byte-identical.
-	Trace func() (string, error)
+	// Trace re-runs one representative point with a protocol tracer and an
+	// always-on telemetry registry attached, and returns the bundle — the
+	// Figure-9 phase events plus the traced run's metric snapshot, which
+	// renders as a text timeline or a Perfetto JSON document. Nil when the
+	// kind has no traceable point. The traced run is separate from the
+	// sweep, so records stay byte-identical.
+	Trace func() (*telemetry.Bundle, error)
 }
 
 // Section is one experiment of a plan: either a sweep (Specs through
@@ -186,7 +189,7 @@ func (p *Plan) compileOSU() error {
 		m.Grid.Algorithms, m.Grid.Nodes, cfg.LinkGbps, cfg.Iters, cfg.Warmup)
 	p.grid(header, "", g, harness.OSUKernel(cfg), nil)
 	specs := p.Sections[0].Specs
-	p.Trace = func() (string, error) {
+	p.Trace = func() (*telemetry.Bundle, error) {
 		// The last (largest) size point is the representative run.
 		return harness.CollTrace(specs[len(specs)-1], cfg.LinkGbps)
 	}
@@ -203,6 +206,13 @@ func (p *Plan) compileChaos() error {
 		len(m.Grid.Algorithms), len(scenarios), m.Grid.Nodes[0], m.Grid.Sizes[0])
 	p.grid(header, "slowdown_vs_quiet is each point's duration over its quiet sibling's.",
 		g, harness.ResilienceKernel, harness.AnnotateSlowdown)
+	specs := p.Sections[0].Specs
+	p.Trace = func() (*telemetry.Bundle, error) {
+		// The last point is the representative run: grids expand scenarios
+		// last, so it carries a real perturbation (not the quiet anchor)
+		// whenever the manifest names one.
+		return harness.ChaosTrace(specs[len(specs)-1])
+	}
 	return nil
 }
 
@@ -236,7 +246,7 @@ func (p *Plan) compileTrain() error {
 	p.grid(header, "overlap_frac is the share of communication hidden behind compute or other communication.",
 		g, harness.TrainKernel(cfg), post)
 	specs := p.Sections[0].Specs
-	p.Trace = func() (string, error) {
+	p.Trace = func() (*telemetry.Bundle, error) {
 		return harness.TrainTrace(specs[0], cfg)
 	}
 	return nil
@@ -254,6 +264,11 @@ func (p *Plan) compileTraffic() error {
 	p.specs(header, "paper: multicast reduces data movement 1.5x (broadcast) to 2x (allgather).",
 		harness.Fig12Specs(m.Grid.Nodes[0], m.Grid.Sizes[0]), harness.Fig12Kernel(iters))
 	p.Sections[0].Post = harness.AnnotateSavings
+	specs := p.Sections[0].Specs
+	p.Trace = func() (*telemetry.Bundle, error) {
+		// The first cell is mcast-broadcast — the protocol under study.
+		return harness.CollTrace(specs[0], 56)
+	}
 	return nil
 }
 
@@ -345,6 +360,18 @@ func (p *Plan) compileAG() error {
 		p.specs(fmt.Sprintf("== Figure 11: per-rank receive throughput at %d nodes (56 Gbit/s links) ==", nodes),
 			"paper: mcast broadcast beats k-nomial/binary tree; mcast allgather matches ring at 128-256 KiB.",
 			harness.Fig11Specs(nodes, sizes), harness.CollKernel)
+	}
+	specs := p.Sections[0].Specs
+	var traced sweep.Spec
+	if fig == 10 {
+		// The last point is the largest (nodes, size) cell.
+		traced = specs[len(specs)-1]
+	} else {
+		// The first figure-11 point is mcast-broadcast at the smallest size.
+		traced = specs[0]
+	}
+	p.Trace = func() (*telemetry.Bundle, error) {
+		return harness.CollTrace(traced, 56)
 	}
 	return nil
 }

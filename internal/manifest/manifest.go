@@ -74,6 +74,11 @@ type Manifest struct {
 	Train *TrainSpec `json:"train,omitempty"`
 	// Traffic carries the counter-methodology knobs of the traffic kind.
 	Traffic *TrafficSpec `json:"traffic,omitempty"`
+	// Telemetry enables the deterministic metrics registry for the run and
+	// names its outputs. Available for every kind; absent means disabled,
+	// and the disabled run's report bytes are identical to a build without
+	// the telemetry layer at all.
+	Telemetry *TelemetrySpec `json:"telemetry,omitempty"`
 	// Output names where to persist the report; both paths optional.
 	Output Output `json:"output,omitempty"`
 	// Baseline declares the report to diff against after the run: the run
@@ -125,6 +130,29 @@ type TrafficSpec struct {
 	// Iters is the measured iteration count after the warm-up operation
 	// (default 10).
 	Iters int `json:"iters,omitempty"`
+}
+
+// TelemetrySpec configures the telemetry layer of a run: the virtual-time
+// sample period, key filters, and where the canonical metrics document and
+// the Perfetto trace of the representative run land.
+type TelemetrySpec struct {
+	// SamplePeriodUS is the gauge sample period in virtual microseconds
+	// (default 100).
+	SamplePeriodUS int `json:"sample_period_us,omitempty"`
+	// Filters restricts the exported metrics to keys with one of these
+	// prefixes (e.g. "fabric/", "core/phase_total"). Empty exports all.
+	Filters []string `json:"filters,omitempty"`
+	// Metrics is where the canonical metrics.json document is written.
+	// Like the report itself it is byte-identical at any -workers and
+	// -shards value.
+	Metrics string `json:"metrics,omitempty"`
+	// Perfetto is where the representative run's Chrome-trace-event JSON is
+	// written (open at ui.perfetto.dev). Only kinds with a traceable point
+	// support it.
+	Perfetto string `json:"perfetto,omitempty"`
+	// Expect pins the expected metrics document: a hex SHA-256 over its
+	// canonical bytes. The run fails (exit 1) on mismatch.
+	Expect string `json:"expect_sha256,omitempty"`
 }
 
 // Output names the report's persistence targets.
@@ -310,6 +338,7 @@ func (m Manifest) fields() []field {
 		{"osu", m.OSU != nil},
 		{"train", m.Train != nil},
 		{"traffic", m.Traffic != nil},
+		{"telemetry", m.Telemetry != nil},
 	}
 }
 
@@ -317,13 +346,13 @@ func (m Manifest) fields() []field {
 // fields (name, workers, shards, output, baseline, expect) are always
 // legal and not listed.
 var consumes = map[string][]string{
-	"osu":     {"grid.algorithms", "grid.ops", "grid.nodes", "grid.sizes", "seed", "osu"},
-	"chaos":   {"grid.algorithms", "grid.scenarios", "grid.nodes", "grid.sizes", "seed"},
-	"train":   {"grid.workloads", "grid.scenarios", "grid.nodes", "grid.sizes", "seed", "train"},
-	"traffic": {"grid.nodes", "grid.sizes", "traffic"},
-	"dpa":     {"figures", "tables", "all"},
-	"cost":    {"figures", "speedup", "economics", "all"},
-	"ag":      {"figures", "grid.nodes", "grid.sizes"},
+	"osu":     {"grid.algorithms", "grid.ops", "grid.nodes", "grid.sizes", "seed", "osu", "telemetry"},
+	"chaos":   {"grid.algorithms", "grid.scenarios", "grid.nodes", "grid.sizes", "seed", "telemetry"},
+	"train":   {"grid.workloads", "grid.scenarios", "grid.nodes", "grid.sizes", "seed", "train", "telemetry"},
+	"traffic": {"grid.nodes", "grid.sizes", "traffic", "telemetry"},
+	"dpa":     {"figures", "tables", "all", "telemetry"},
+	"cost":    {"figures", "speedup", "economics", "all", "telemetry"},
+	"ag":      {"figures", "grid.nodes", "grid.sizes", "telemetry"},
 }
 
 // Validate checks the manifest without running anything: kind membership,
@@ -356,6 +385,17 @@ func (m Manifest) Validate() error {
 	}
 	if m.Expect != nil && len(m.Expect.SHA256) != 64 {
 		return fmt.Errorf("manifest: expect.sha256 must be 64 hex characters")
+	}
+	if t := m.Telemetry; t != nil {
+		if t.SamplePeriodUS < 0 {
+			return fmt.Errorf("manifest: telemetry.sample_period_us must be >= 0")
+		}
+		if t.Expect != "" && len(t.Expect) != 64 {
+			return fmt.Errorf("manifest: telemetry.expect_sha256 must be 64 hex characters")
+		}
+		if t.Expect != "" && t.Metrics == "" {
+			return fmt.Errorf("manifest: telemetry.expect_sha256 needs telemetry.metrics")
+		}
 	}
 	for _, n := range m.Grid.Sizes {
 		if n <= 0 {

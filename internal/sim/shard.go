@@ -97,6 +97,13 @@ type Sharded struct {
 	// single-shard fast path does not barrier and is not counted).
 	// Deterministic for a deterministic model and shard count.
 	Epochs uint64
+	// Stalls counts shard-epochs in which a shard sat out the barrier —
+	// it held no event inside the epoch window while other shards
+	// advanced. High stall counts mean the partition (or the model's
+	// shard-confinement) leaves cores idle; telemetry surfaces this as a
+	// Diagnostic metric since it varies with the shard count by nature.
+	// Deterministic for a deterministic model and shard count.
+	Stalls uint64
 }
 
 // NewSharded builds a group of shards engines with the given lookahead
@@ -333,6 +340,8 @@ func (g *Sharded) epoch(runTo Time) {
 		for i, e := range g.shards {
 			if t, ok := e.PeekTime(); ok && t <= runTo {
 				g.runShardInline(i, e, runTo)
+			} else {
+				g.Stalls++
 			}
 		}
 		return
@@ -341,6 +350,7 @@ func (g *Sharded) epoch(runTo Time) {
 	for i, e := range g.shards {
 		t, ok := e.PeekTime()
 		if !ok || t > runTo {
+			g.Stalls++
 			continue
 		}
 		if i == 0 {

@@ -15,17 +15,23 @@ import (
 func benchPhold(b *testing.B, shards int) {
 	const hosts = 256
 	const window = Millisecond
-	var events uint64
+	var events, epochs, stalls uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t := newPhold(17, hosts, shards, math.MaxInt32)
 		t.grp.RunUntil(window)
 		events += t.grp.ExecutedTotal()
+		epochs += t.grp.Epochs
+		stalls += t.grp.Stalls
 	}
 	b.StopTimer()
 	secs := b.Elapsed().Seconds()
 	b.ReportMetric(float64(events)/secs, "events/sec")
 	b.ReportMetric(float64(events)/secs/float64(shards), "events/sec/core")
+	// Informational barrier telemetry: how many lookahead epochs the window
+	// took and how often a shard sat one out empty-handed.
+	b.ReportMetric(float64(epochs)/float64(b.N), "epochs/op")
+	b.ReportMetric(float64(stalls)/float64(b.N), "epoch-stalls/op")
 }
 
 func BenchmarkEngineParallel1(b *testing.B) { benchPhold(b, 1) }
@@ -85,7 +91,7 @@ func (h *ringHost) OnEvent(e *Engine, _ Handle, arg0 uint64, arg1 int, _ any) {
 	e.Send(h.ring.shardOf[next.id], e.Now()+ringLink, order, next, arg0, (hops-1)<<8, nil)
 }
 
-func runRingAllreduce(shards int) uint64 {
+func runRingAllreduce(shards int) (events, epochs, stalls uint64) {
 	g := NewSharded(29, shards, ringLink)
 	r := &ringBench{grp: g}
 	for i := 0; i < ringHosts; i++ {
@@ -108,7 +114,7 @@ func runRingAllreduce(shards int) uint64 {
 	if retired != ringSegments {
 		panic(fmt.Sprintf("ring allreduce retired %d/%d segments", retired, ringSegments))
 	}
-	return g.ExecutedTotal()
+	return g.ExecutedTotal(), g.Epochs, g.Stalls
 }
 
 // BenchmarkAllreduce16Shards times the 16-host ring allreduce at 4 shards
@@ -120,10 +126,13 @@ func runRingAllreduce(shards int) uint64 {
 // and gated as a floor relative to itself (-min-metric, tol 0.20).
 func BenchmarkAllreduce16Shards(b *testing.B) {
 	const shards = 4
-	var events uint64
+	var events, epochs, stalls uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		events += runRingAllreduce(shards)
+		ev, ep, st := runRingAllreduce(shards)
+		events += ev
+		epochs += ep
+		stalls += st
 	}
 	b.StopTimer()
 	parRate := float64(events) / b.Elapsed().Seconds()
@@ -131,11 +140,14 @@ func BenchmarkAllreduce16Shards(b *testing.B) {
 	start := time.Now()
 	var serialEvents uint64
 	for i := 0; i < b.N; i++ {
-		serialEvents += runRingAllreduce(1)
+		ev, _, _ := runRingAllreduce(1)
+		serialEvents += ev
 	}
 	serialRate := float64(serialEvents) / time.Since(start).Seconds()
 
 	b.ReportMetric(parRate, "events/sec")
 	b.ReportMetric(parRate/shards, "events/sec/core")
 	b.ReportMetric(parRate/serialRate, "speedup")
+	b.ReportMetric(float64(epochs)/float64(b.N), "epochs/op")
+	b.ReportMetric(float64(stalls)/float64(b.N), "epoch-stalls/op")
 }

@@ -7,6 +7,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/collective"
+	"repro/internal/telemetry"
 )
 
 // Record is the structured result of one sweep point: the spec that
@@ -28,6 +29,11 @@ type Record struct {
 	// non-workload sweeps serialize exactly as before the fields existed.
 	Workload    string  `json:"workload,omitempty"`
 	OverlapFrac float64 `json:"overlap_frac,omitempty"`
+	// Telemetry is the point's metric snapshot when telemetry is enabled.
+	// It is excluded from the BENCH_*.json encoding — those documents are
+	// digest-gated byte-identical with telemetry on or off — and surfaces
+	// through the separately written canonical metrics.json instead.
+	Telemetry *telemetry.Snapshot `json:"-"`
 }
 
 // Metric returns the named metric, or 0 when absent.

@@ -274,6 +274,9 @@ type rcPending struct {
 	imm      uint32
 	signaled bool
 	retries  int
+	// posted is when the WR entered the send queue; the ack that retires it
+	// closes the completion-latency observation.
+	posted sim.Time
 	// timer is the armed retransmission timeout. A Handle (not a *Event):
 	// timer events are pooled, and the generation check makes cancelling a
 	// timer that already fired — an ack racing its own retransmission — a
@@ -327,6 +330,7 @@ func (qp *QP) mustRC() {
 }
 
 func (qp *QP) startRC(p *rcPending) {
+	p.posted = qp.ctx.eng.Now()
 	p.msgID = qp.ctx.allocMsgID()
 	qp.pending[p.msgID] = p
 	wire := qp.transmitRC(p)
@@ -394,6 +398,7 @@ func (qp *QP) receiveAck(m *wireMsg) {
 	}
 	delete(qp.pending, m.msgID)
 	p.timer.Cancel()
+	qp.ctx.complLat.Observe(qp.ctx.eng.Now() - p.posted)
 	if p.signaled && !p.isRead {
 		qp.sendCQ.Push(CQE{Op: OpSend, QPN: qp.N, WrID: p.wrID, Bytes: p.length})
 	}

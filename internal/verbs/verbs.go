@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -203,6 +204,10 @@ type Config struct {
 	DMABandwidth float64
 	// DMALatency is the per-copy completion latency (paper: 1–3 µs).
 	DMALatency sim.Time
+	// Metrics, when set, receives transport telemetry: RC completion
+	// latency histograms live, drop/retransmit counters at collection
+	// time. Nil (the default) adds no cost anywhere.
+	Metrics *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -245,6 +250,10 @@ type Context struct {
 
 	// Stats
 	RNRDrops uint64 // datagrams dropped because no receive was posted
+
+	// complLat is the RC completion-latency histogram (post to ack), shared
+	// across this context's QPs; nil when Config.Metrics is unset.
+	complLat *telemetry.Histogram
 }
 
 // NewContext opens a verbs context on host over fabric f.
@@ -262,6 +271,10 @@ func NewContext(f *fabric.Fabric, host topology.NodeID, cfg Config) *Context {
 	}
 	ctx.dma = newDMAEngine(ctx.eng, cfg.DMABandwidth, cfg.DMALatency)
 	ctx.nic.Deliver = ctx.dispatch
+	// All contexts of a cluster share one registry, so every host's RC
+	// completions land in the same histogram (the registry dedupes by key).
+	ctx.complLat = cfg.Metrics.Histogram("verbs", "rc_completion_ns", "",
+		telemetry.Stable, telemetry.LatencyBounds)
 	return ctx
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/registry"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/verbs"
 )
@@ -38,6 +39,9 @@ type Config struct {
 	// Tracer, when set, records protocol phase transitions of the
 	// multicast comms (the Figure 9 execution-flow view).
 	Tracer *trace.Recorder
+	// Metrics, when set, is threaded into each comm's core config so the
+	// protocol's phase counters accumulate there. Nil adds no cost.
+	Metrics *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -114,7 +118,7 @@ func FSDPJob(name, pair string, cfg Config, hostOffset int) Job {
 		// (the send path belongs to the Reduce-Scatter stream), in-network
 		// Reduce-Scatter on the send path.
 		ag = Comm{Name: "ag", Algorithm: "mcast-allgather", Options: registry.Options{
-			Core: core.Config{Transport: verbs.UD, Subgroups: 4, Chains: cfg.Nodes, Tracer: cfg.Tracer},
+			Core: core.Config{Transport: verbs.UD, Subgroups: 4, Chains: cfg.Nodes, Tracer: cfg.Tracer, Metrics: cfg.Metrics},
 		}}
 		rs = Comm{Name: "rs", Algorithm: "inc-reduce-scatter"}
 	default:
@@ -164,6 +168,7 @@ func dfsReplica(c Config) Workload {
 				VerifyData:  c.VerifyData,
 				CutoffAlpha: 200 * sim.Microsecond,
 				Tracer:      c.Tracer,
+				Metrics:     c.Metrics,
 			},
 		}}},
 	}

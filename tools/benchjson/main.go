@@ -7,7 +7,11 @@
 // allocs/op regresses more than the tolerance over PERF_BASELINE.json.
 // Only machine-independent metrics (allocation counts, simulated events
 // per op) are suitable for gating; wall-clock metrics (ns/op, events/sec)
-// are recorded for the trajectory but vary across runners.
+// are recorded for the trajectory but vary across runners. Telemetry
+// counters reported by the shard benchmarks ("epochs/op" ->
+// epochs_per_op, "epoch-stalls/op" -> epoch_stalls_per_op) flow through
+// the same pipeline as informational metrics: they appear in the
+// trajectory but are gated only if named in -metric/-min-metric.
 //
 // Usage:
 //
