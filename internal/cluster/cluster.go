@@ -49,7 +49,7 @@ type Node struct {
 // use (hosts that never offload never pay for one).
 func (n *Node) DPA() *dpa.Chip {
 	if n.dpa == nil {
-		n.dpa = dpa.NewDPA(n.f.Engine())
+		n.dpa = dpa.NewDPA(n.f.HostEngine(n.Host))
 	}
 	return n.dpa
 }
@@ -71,7 +71,7 @@ func (n *Node) RxArbiters(count int, onDPA bool, p dpa.Profile) ([]*dpa.Arbiter,
 		chip = n.DPA()
 	}
 	for _, th := range chip.AllocThreads(count) {
-		n.arbiters = append(n.arbiters, dpa.NewArbiter(n.f.Engine(), th, p))
+		n.arbiters = append(n.arbiters, dpa.NewArbiter(n.f.HostEngine(n.Host), th, p))
 	}
 	n.arbProfile = p
 	n.arbOnDPA = onDPA
@@ -87,10 +87,13 @@ type Cluster struct {
 
 // New builds an empty cluster over the fabric.
 func New(f *fabric.Fabric, cfg Config) *Cluster {
-	// The per-host runtime schedules directly on the fabric's engine; in a
-	// sharded group that engine must be the primary shard (the stack is not
-	// yet partitioned across shards — see internal/sim shard docs).
-	sim.AssertShardable(f.Engine(), "cluster")
+	if !f.Partitioned() {
+		// On a confined fabric the whole per-host runtime schedules on the
+		// fabric's engine, which must then be the primary shard. A
+		// partitioned fabric instead hands each host its owning shard's
+		// engine via HostEngine, so the confinement requirement vanishes.
+		sim.AssertShardable(f.Engine(), "cluster")
+	}
 	return &Cluster{f: f, cfg: cfg.withDefaults(), nodes: make(map[topology.NodeID]*Node)}
 }
 
@@ -105,7 +108,7 @@ func (cl *Cluster) Node(h topology.NodeID) *Node {
 	n := &Node{
 		Host: h,
 		Ctx:  verbs.NewContext(cl.f, h, cl.cfg.Verbs),
-		CPU:  dpa.NewCPU(cl.f.Engine(), cl.cfg.CPUCores),
+		CPU:  dpa.NewCPU(cl.f.HostEngine(h), cl.cfg.CPUCores),
 		f:    cl.f,
 	}
 	cl.nodes[h] = n

@@ -44,7 +44,7 @@ func (t *Team) StartRingAllgather(n int, cb func(*Result)) error {
 		p.op = st
 		if size == 1 {
 			st.fin = true
-			t.eng.AfterHandler(0, d, 0, 0, p)
+			p.eng.AfterHandler(0, d, 0, 0, p)
 			continue
 		}
 		st.sendStep()
@@ -75,8 +75,8 @@ func (st *ringAGState) sendStep() {
 	// Posting cost on the progress thread, then the zero-copy write. The QP
 	// is resolved here, at scheduling time, so lazy QP creation order (and
 	// with it QPN/flow assignment) is unchanged from the closure days.
-	post := st.p.thread.Run(dpa.SendPost, t.eng.Now())
-	t.eng.AtHandler(post, st, uint64(block), 0, qp)
+	post := st.p.thread.Run(dpa.SendPost, st.p.eng.Now())
+	st.p.eng.AtHandler(post, st, uint64(block), 0, qp)
 }
 
 // OnEvent posts the scheduled ring write: arg0 is the block, obj the QP.
@@ -145,7 +145,7 @@ func (t *Team) StartLinearAllgather(n int, cb func(*Result)) error {
 		p.op = st
 		if size == 1 {
 			st.fin = true
-			t.eng.AfterHandler(0, d, 0, 0, p)
+			p.eng.AfterHandler(0, d, 0, 0, p)
 			continue
 		}
 		st.postAll()
@@ -170,12 +170,12 @@ func (t *Team) RunLinearAllgather(n int) (*Result, error) {
 func (st *linearAGState) postAll() {
 	t := st.p.team
 	size := t.Size()
-	post := t.eng.Now()
+	post := st.p.eng.Now()
 	for q := 1; q < size; q++ {
 		dst := (st.p.id + q) % size
 		qp := t.qpTo(st.p.id, dst)
 		post = st.p.thread.Run(dpa.SendPost, post)
-		t.eng.AtHandler(post, st, uint64(st.p.id), 0, qp)
+		st.p.eng.AtHandler(post, st, uint64(st.p.id), 0, qp)
 		st.pending++
 	}
 }
@@ -251,7 +251,7 @@ func (t *Team) StartRecursiveDoublingAllgather(n int, cb func(*Result)) error {
 		p.op = st
 		if size == 1 {
 			st.fin = true
-			t.eng.AfterHandler(0, d, 0, 0, p)
+			p.eng.AfterHandler(0, d, 0, 0, p)
 			continue
 		}
 		st.exchange()
@@ -280,8 +280,8 @@ func (st *rdAGState) exchange() {
 	dist := 1 << st.round
 	partner := st.p.id ^ dist
 	qp := t.qpTo(st.p.id, partner)
-	post := st.p.thread.Run(dpa.SendPost, t.eng.Now())
-	t.eng.AtHandler(post, st, uint64(st.round), 0, qp)
+	post := st.p.thread.Run(dpa.SendPost, st.p.eng.Now())
+	st.p.eng.AtHandler(post, st, uint64(st.round), 0, qp)
 }
 
 // OnEvent posts the scheduled round exchange: arg0 is the round, obj the
@@ -407,7 +407,7 @@ func (t *Team) StartBruckAllgather(n int, cb func(*Result)) error {
 		p.op = st
 		if size == 1 {
 			st.fin = true
-			t.eng.AfterHandler(0, d, 0, 0, p)
+			p.eng.AfterHandler(0, d, 0, 0, p)
 			continue
 		}
 		st.exchange()
@@ -435,8 +435,8 @@ func (st *bruckAGState) exchange() {
 	dist := 1 << st.round
 	dst := (st.p.id - dist + size) % size
 	qp := t.qpTo(st.p.id, dst)
-	post := st.p.thread.Run(dpa.SendPost, t.eng.Now())
-	t.eng.AtHandler(post, st, uint64(st.round), 0, qp)
+	post := st.p.thread.Run(dpa.SendPost, st.p.eng.Now())
+	st.p.eng.AtHandler(post, st, uint64(st.round), 0, qp)
 }
 
 // OnEvent posts the scheduled Bruck round: arg0 is the round, obj the QP.

@@ -173,7 +173,7 @@ func (t *Team) startTreeBcast(kind string, root, n, chunk int, cb func(*Result),
 			st.forwardReady()
 			if len(st.children) == 0 {
 				st.fin = true
-				t.eng.AfterHandler(0, d, 0, 0, p)
+				p.eng.AfterHandler(0, d, 0, 0, p)
 			}
 		}
 	}
@@ -188,7 +188,7 @@ func (st *treeBcastState) forwardReady() {
 		return
 	}
 	t := st.p.team
-	post := t.eng.Now()
+	post := st.p.eng.Now()
 	for c := st.fwd / len(st.children); c < st.have; c++ {
 		off := c * st.chunk
 		length := st.n - off
@@ -198,7 +198,7 @@ func (st *treeBcastState) forwardReady() {
 		for _, child := range st.children {
 			qp := t.qpTo(st.p.id, child)
 			post = st.p.thread.Run(dpa.SendPost, post)
-			t.eng.AtHandler(post, st, uint64(c), length, qp)
+			st.p.eng.AtHandler(post, st, uint64(c), length, qp)
 			st.fwd++
 		}
 	}

@@ -42,7 +42,7 @@ func (t *Team) StartRingReduceScatter(n int, cb func(*Result)) error {
 		p.op = st
 		if size == 1 {
 			st.fin = true
-			t.eng.AfterHandler(0, d, 0, 0, p)
+			p.eng.AfterHandler(0, d, 0, 0, p)
 			continue
 		}
 		st.sendStep()
@@ -69,8 +69,8 @@ func (st *ringRSState) sendStep() {
 	shard := (st.p.id - st.step + size) % size
 	right := (st.p.id + 1) % size
 	qp := t.qpTo(st.p.id, right)
-	post := st.p.thread.Run(dpa.SendPost, t.eng.Now())
-	t.eng.AtHandler(post, st, uint64(shard), 0, qp)
+	post := st.p.thread.Run(dpa.SendPost, st.p.eng.Now())
+	st.p.eng.AtHandler(post, st, uint64(shard), 0, qp)
 }
 
 // OnEvent dispatches the state's two timer kinds: with a QP payload it
@@ -99,8 +99,8 @@ func (st *ringRSState) handle(e verbs.CQE) {
 		// the progress thread. (Sequential RunCycles calls serialize on the
 		// thread, so back-to-back arrivals reduce one after another.)
 		cycles := float64(st.n) * st.p.node.CPU.Freq / reduceBandwidth
-		done := st.p.thread.RunCycles(cycles, cycles, t.eng.Now())
-		t.eng.AtHandler(done, st, 0, 0, nil)
+		done := st.p.thread.RunCycles(cycles, cycles, st.p.eng.Now())
+		st.p.eng.AtHandler(done, st, 0, 0, nil)
 		return
 	case verbs.OpSend:
 		st.sent++
@@ -207,11 +207,10 @@ func (t *Team) RunINCReduceScatter(rg fabric.ReduceGroupID, n int) (*Result, err
 // tree, pacing the posting on the progress thread in batches so injection
 // tracks the wire.
 func (st *incRSState) postContributions(rg fabric.ReduceGroupID) {
-	t := st.p.team
 	const batch = 64
 	st.rg = rg
 	postBatch := func() {
-		post := t.eng.Now()
+		post := st.p.eng.Now()
 		for i := 0; i < batch && st.posted < st.toPost; i++ {
 			idx := st.posted
 			st.posted++
@@ -221,7 +220,7 @@ func (st *incRSState) postContributions(rg fabric.ReduceGroupID) {
 			if signaled {
 				sig = 1
 			}
-			t.eng.AtHandler(post, st, uint64(idx), sig, nil)
+			st.p.eng.AtHandler(post, st, uint64(idx), sig, nil)
 		}
 	}
 	st.batchCont = postBatch

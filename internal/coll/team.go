@@ -14,6 +14,7 @@ package coll
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/collective"
@@ -69,9 +70,13 @@ type Team struct {
 }
 
 type peer struct {
-	team   *Team
-	id     int
-	node   *cluster.Node
+	team *Team
+	id   int
+	node *cluster.Node
+	// eng is the engine owning this rank's host: the primary on a confined
+	// fabric, the host's shard on a partitioned one. Every event the rank
+	// schedules for itself (send steps, completion marks) goes here.
+	eng    *sim.Engine
 	cq     *verbs.CQ
 	wkr    *dpa.Worker
 	thread *dpa.Thread
@@ -102,13 +107,14 @@ func NewTeam(cl *cluster.Cluster, hosts []topology.NodeID, cfg Config) (*Team, e
 			team:    t,
 			id:      i,
 			node:    node,
+			eng:     node.Ctx.Engine(),
 			cq:      &verbs.CQ{},
 			thread:  node.CPU.AllocThreads(1)[0],
 			qps:     make(map[int]*verbs.QP),
 			mrCache: make(map[int]*verbs.MR),
 		}
 		p.udQP = node.Ctx.NewQP(verbs.UD, p.cq, p.cq, 0)
-		p.wkr = dpa.NewWorker(t.eng, p.thread, p.cq, p2pProgress)
+		p.wkr = dpa.NewWorker(p.eng, p.thread, p.cq, p2pProgress)
 		p.wkr.Handle = func(e verbs.CQE) {
 			if p.op != nil {
 				p.op.handle(e)
@@ -165,10 +171,16 @@ func (p *peer) buf(size int) *verbs.MR {
 // collective.Result, with the per-rank RecvBytes aggregate filled in.
 type Result = collective.Result
 
-// opDriver tracks completion across ranks and finalizes the Result.
+// opDriver tracks completion across ranks and finalizes the Result. On a
+// partitioned fabric ranks complete on their own shards, possibly within
+// the same epoch, so the countdown is mutex-guarded and End accumulates as
+// the max of each completing rank's clock — a value independent of which
+// shard happens to decrement last (on a confined fabric it degenerates to
+// the old "clock at the final completion").
 type opDriver struct {
 	t         *Team
 	res       *Result
+	mu        sync.Mutex
 	remaining int
 	cb        func(*Result)
 }
@@ -191,9 +203,13 @@ func (t *Team) newDriver(kind string, sendBytes, recvBytes int, cb func(*Result)
 
 func (d *opDriver) rankDone(p *peer) {
 	p.op = nil
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t := p.eng.Now(); t > d.res.End {
+		d.res.End = t
+	}
 	d.remaining--
 	if d.remaining == 0 {
-		d.res.End = d.t.eng.Now()
 		if m := d.t.cfg.Metrics; m != nil {
 			m.Span("coll", d.res.Kind, d.res.Start, d.res.End)
 			m.Counter("coll", "ops_total", "kind="+d.res.Kind, telemetry.Stable).Add(1)

@@ -24,7 +24,7 @@ type subcommand struct {
 }
 
 var subcommands = []subcommand{
-	{"run", "execute a manifest: repro run <manifest> [-workers N] [-json PATH] [-compare BASE]", runManifest},
+	{"run", "execute manifests: repro run <manifest...> [-workers N] [-shards N] [-o DIR] [-compare BASE]", runManifest},
 	{"validate", "check manifests without running: repro validate <manifest...>", runValidate},
 	{"list", "print registered kinds, algorithms, scenarios, workloads and presets", runList},
 	{"trace", "summarize a telemetry metrics.json: repro trace [-top N] <metrics.json>", runTraceCmd},

@@ -118,6 +118,121 @@ func TestValidateSubcommand(t *testing.T) {
 	}
 }
 
+// TestManifestShardMatrix runs the three shipping manifest families that
+// exercise distinct stacks — pr (OSU collectives, partitioned), chaos
+// (scenario kernel with the partitioned quiet anchor), train (workload
+// DAGs, confined) — at every shard count in the acceptance matrix. Each
+// manifest declares its expect.sha256, so a zero exit IS the byte-identity
+// assertion; the digest-confirmation line is checked anyway so a manifest
+// that silently loses its expect block fails loudly.
+func TestManifestShardMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nine multi-second sweeps; skipped with -short")
+	}
+	for _, name := range []string{"pr.json", "chaos.json", "train.json"} {
+		src, err := filepath.Abs(filepath.Join("..", "..", "manifests", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []string{"1", "2", "8"} {
+			code, stdout, stderr := run("run", "-shards", shards, "-o", t.TempDir(), src)
+			if code != 0 {
+				t.Fatalf("%s -shards %s: exit %d, stderr %s", name, shards, code, stderr)
+			}
+			if !strings.Contains(stdout, "digest matches expect.sha256") {
+				t.Fatalf("%s -shards %s: stdout does not confirm the digest:\n%s", name, shards, stdout)
+			}
+		}
+	}
+}
+
+// smallOSUManifest writes a fast single-point osu manifest to dir and
+// returns its path. json names the declared output file (relative paths
+// land in the process working directory unless redirected with -o);
+// digest pins expect.sha256 when non-empty.
+func smallOSUManifest(t *testing.T, dir, name, json, digest string) string {
+	t.Helper()
+	m := manifest.Manifest{
+		Kind: "osu",
+		Grid: manifest.Grid{
+			Algorithms: []string{"mcast-allgather"},
+			Nodes:      []int{4},
+			Sizes:      manifest.Sizes{4096},
+		},
+		OSU:    &manifest.OSUSpec{Iters: 1},
+		Output: manifest.Output{JSON: json},
+	}
+	if digest != "" {
+		m.Expect = &manifest.Expect{SHA256: digest}
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, m.Encode(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunMultiManifest is the table test over the batch form of `repro
+// run`: several manifests execute in order, -o redirects their declared
+// outputs into one directory, per-file output flags are rejected as
+// ambiguous, and the batch stops at the first failing manifest.
+func TestRunMultiManifest(t *testing.T) {
+	dir := t.TempDir()
+	a := smallOSUManifest(t, dir, "a.json", "A.json", "")
+	b := smallOSUManifest(t, dir, "b.json", "B.json", "")
+	bad := smallOSUManifest(t, dir, "bad.json", "BAD.json", strings.Repeat("0", 64))
+
+	cases := []struct {
+		name    string
+		args    []string
+		want    int
+		err     string   // substring expected on stderr
+		present []string // files expected under out/ afterwards
+		absent  []string
+	}{
+		{"batch with -o", []string{"run", "-o", filepath.Join(dir, "out"), a, b}, 0, "",
+			[]string{"A.json", "B.json"}, nil},
+		{"single with -o", []string{"run", "-o", filepath.Join(dir, "solo"), a}, 0, "",
+			nil, nil},
+		{"json flag ambiguous", []string{"run", "-json", filepath.Join(dir, "x.json"), a, b}, 2,
+			"-json names one output file", nil, nil},
+		{"csv flag ambiguous", []string{"run", "-csv", filepath.Join(dir, "x.csv"), a, b}, 2,
+			"-csv names one output file", nil, nil},
+		{"trace flag ambiguous", []string{"run", "-trace", filepath.Join(dir, "x.txt"), a, b}, 2,
+			"-trace names one output file", nil, nil},
+		{"stops at first failure", []string{"run", "-o", filepath.Join(dir, "stop"), bad, b}, 1,
+			"does not match expect.sha256", []string{}, []string{"B.json"}},
+	}
+	for _, c := range cases {
+		code, stdout, stderr := run(c.args...)
+		if code != c.want {
+			t.Errorf("%s: exit %d, want %d (stderr: %s)", c.name, code, c.want, stderr)
+			continue
+		}
+		if c.err != "" && !strings.Contains(stderr, c.err) {
+			t.Errorf("%s: stderr %q does not contain %q", c.name, stderr, c.err)
+		}
+		outDir := c.args[2] // every case passes a value right after the first flag
+		for _, f := range c.present {
+			if _, err := os.Stat(filepath.Join(outDir, f)); err != nil {
+				t.Errorf("%s: expected output %s: %v", c.name, f, err)
+			}
+		}
+		for _, f := range c.absent {
+			if _, err := os.Stat(filepath.Join(outDir, f)); err == nil {
+				t.Errorf("%s: output %s exists but the batch should have stopped before it", c.name, f)
+			}
+		}
+		if code == 0 && len(c.present) > 0 && !strings.Contains(stdout, "== "+a) {
+			t.Errorf("%s: stdout missing per-manifest header:\n%s", c.name, stdout)
+		}
+	}
+	// A batch header is noise for the single-manifest form.
+	if _, stdout, _ := run("run", "-o", filepath.Join(dir, "solo2"), a); strings.Contains(stdout, "== ") {
+		t.Errorf("single manifest run prints a batch header:\n%s", stdout)
+	}
+}
+
 // TestDigestMismatchExitsOne pins the runtime-failure exit code: a run
 // whose bytes do not match the declared expect.sha256 fails with 1.
 func TestDigestMismatchExitsOne(t *testing.T) {

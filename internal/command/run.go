@@ -4,6 +4,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/cli"
@@ -13,13 +15,19 @@ import (
 	"repro/internal/workload"
 )
 
-// runManifest implements `repro run <manifest>`: parse the document,
-// fold in any command-line overrides, and execute it.
+// runManifest implements `repro run <manifest...>`: parse each document,
+// fold in any command-line overrides, and execute them in order, stopping
+// at the first failure. With several manifests the per-file output flags
+// (-json, -csv, -metrics, -perfetto, -trace) would silently overwrite one
+// another, so they are rejected; -o DIR redirects every file a manifest
+// declares into DIR instead, preserving basenames, which is how a batch
+// (e.g. the CI matrix) lands its artifacts side by side.
 func runManifest(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("repro run", flag.ContinueOnError)
 	comparePath := fs.String("compare", "", "override the manifest baseline path")
 	tol := fs.Float64("tol", -1, "override the manifest baseline tolerance (>= 0)")
 	tracePath := fs.String("trace", "", "write the Figure-9 protocol phase timeline of one representative run to this file")
+	outDir := fs.String("o", "", "redirect every output file the manifests declare into this directory (created if missing)")
 	var c common
 	c.register(fs, -1)
 	// Stdlib flag parsing stops at the first positional argument; re-parse
@@ -38,31 +46,75 @@ func runManifest(args []string, stdout, stderr io.Writer) int {
 		paths = append(paths, fs.Arg(0))
 		rest = fs.Args()[1:]
 	}
-	if len(paths) != 1 {
-		return fail(stderr, 2, "usage: repro run [flags] <manifest>")
+	if len(paths) == 0 {
+		return fail(stderr, 2, "usage: repro run [flags] <manifest...>")
+	}
+	if len(paths) > 1 {
+		for _, f := range []struct{ name, val string }{
+			{"json", c.jsonPath}, {"csv", c.csvPath},
+			{"metrics", c.metricsPath}, {"perfetto", c.perfettoPath},
+			{"trace", *tracePath}, {"compare", *comparePath},
+		} {
+			if f.val != "" {
+				return fail(stderr, 2, "run: -%s names one output file but %d manifests were given; use -o DIR to redirect per-manifest outputs", f.name, len(paths))
+			}
+		}
 	}
 	checks := append(c.validate(), cli.Writable("trace", *tracePath))
 	if err := cli.Validate("run", checks...); err != nil {
 		return fail(stderr, 2, "%v", err)
 	}
-	m, err := manifest.ParseFile(paths[0])
-	if err != nil {
-		return fail(stderr, 2, "run: %v", err)
-	}
-	if *comparePath != "" {
-		if m.Baseline == nil {
-			m.Baseline = &manifest.Baseline{}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fail(stderr, 2, "run: -o %s: %v", *outDir, err)
 		}
-		m.Baseline.Path = *comparePath
 	}
-	if *tol >= 0 {
-		if m.Baseline == nil {
-			return fail(stderr, 2, "run: -tol set but no baseline declared or passed via -compare")
+	for _, path := range paths {
+		m, err := manifest.ParseFile(path)
+		if err != nil {
+			return fail(stderr, 2, "run: %v", err)
 		}
-		m.Baseline.Tolerance = *tol
+		if *comparePath != "" {
+			if m.Baseline == nil {
+				m.Baseline = &manifest.Baseline{}
+			}
+			m.Baseline.Path = *comparePath
+		}
+		if *tol >= 0 {
+			if m.Baseline == nil {
+				return fail(stderr, 2, "run: -tol set but no baseline declared or passed via -compare")
+			}
+			m.Baseline.Tolerance = *tol
+		}
+		c.apply(&m)
+		if *outDir != "" {
+			redirectOutputs(&m, *outDir)
+		}
+		if len(paths) > 1 {
+			fmt.Fprintf(stdout, "== %s\n", path)
+		}
+		if code := execute("run", m, diagnostics{trace: *tracePath, cpuprofile: c.cpuprofile}, stdout, stderr); code != 0 {
+			return code
+		}
 	}
-	c.apply(&m)
-	return execute("run", m, diagnostics{trace: *tracePath, cpuprofile: c.cpuprofile}, stdout, stderr)
+	return 0
+}
+
+// redirectOutputs rebases every output file the manifest declares into
+// dir, keeping the basename. Digest expectations are untouched: the bytes
+// do not depend on where they land.
+func redirectOutputs(m *manifest.Manifest, dir string) {
+	rebase := func(p *string) {
+		if *p != "" {
+			*p = filepath.Join(dir, filepath.Base(*p))
+		}
+	}
+	rebase(&m.Output.JSON)
+	rebase(&m.Output.CSV)
+	if m.Telemetry != nil {
+		rebase(&m.Telemetry.Metrics)
+		rebase(&m.Telemetry.Perfetto)
+	}
 }
 
 // runValidate implements `repro validate <manifest...>`: parse and

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bitmap"
 	"repro/internal/collective"
@@ -53,6 +54,11 @@ func (c *Communicator) startOp(kind opKind, root, n int, done func(*Result)) err
 		Start:     c.eng.Now(),
 		PerRank:   make([]RankStats, p),
 	}
+	// Ranks complete on their own shards, possibly inside one epoch: the
+	// countdown is mutex-guarded and End accumulates as the max of each
+	// completing rank's clock (equal to the old last-completion reading on
+	// a confined fabric, where the clock is shared and monotonic).
+	var mu sync.Mutex
 	remaining := p
 	for _, r := range c.ranks {
 		r := r
@@ -85,18 +91,24 @@ func (c *Communicator) startOp(kind opKind, root, n int, done func(*Result)) err
 		op.cb = func(rk *Rank) {
 			res.PerRank[rk.id] = rk.op.stats()
 			rk.TotalRNRDrops = rk.ctx.RNRDrops
+			mu.Lock()
+			defer mu.Unlock()
+			if t := rk.eng.Now(); t > res.End {
+				res.End = t
+			}
 			remaining--
 			if remaining == 0 {
-				res.End = c.eng.Now()
 				if done != nil {
 					done(res)
 				}
 			}
 		}
 		r.op = op
-		// Dispatch on the app thread (task-queue handoff cost, §IV-B).
+		// Dispatch on the app thread (task-queue handoff cost, §IV-B). Start
+		// runs between engine runs with aligned clocks, so reading c.eng here
+		// and scheduling on the rank's own shard is exact at any -shards.
 		t := r.appThread.Run(dpa.TaskDispatch, c.eng.Now())
-		c.eng.AtHandler(t, r, 0, 0, nil)
+		r.eng.AtHandler(t, r, 0, 0, nil)
 	}
 	if kind == kindBarrier {
 		return nil

@@ -88,7 +88,7 @@ type opState struct {
 
 // rec traces a phase transition (no-op when tracing is off).
 func (op *opState) rec(phase, detail string) {
-	op.r.comm.cfg.Tracer.Record(op.r.comm.eng.Now(), op.r.id, op.seq, phase, detail)
+	op.r.comm.cfg.Tracer.Record(op.r.eng.Now(), op.r.id, op.seq, phase, detail)
 	if m := op.r.comm.cfg.Metrics; m != nil {
 		m.Counter("core", "phase_total", "phase="+phase, telemetry.Stable).Add(1)
 	}
@@ -166,7 +166,7 @@ func (op *opState) chainNext() int {
 // buffers, pre-post receives, copy local data, then enter the RNR barrier.
 func (op *opState) begin() {
 	r := op.r
-	op.tStart = r.comm.eng.Now()
+	op.tStart = r.eng.Now()
 	op.rec(trace.PhaseDispatch, op.kind.String())
 
 	// Pre-post the receive queues (UD fast path) before synchronizing, so
@@ -288,7 +288,7 @@ func (op *opState) advanceBarrier() {
 // barrierDone transitions into the multicast phase: arm the cutoff timer,
 // and start transmitting if this rank is an initial root.
 func (op *opState) barrierDone() {
-	op.tBarrier = op.r.comm.eng.Now()
+	op.tBarrier = op.r.eng.Now()
 	op.rec(trace.PhaseBarrier, "")
 	op.armCutoff()
 	if op.isRoot && (op.kind == kindBroadcast || op.chainHead() || op.pendAct) {
@@ -309,7 +309,7 @@ func (op *opState) startTX() {
 		return
 	}
 	op.txStarted = true
-	op.tTxStart = op.r.comm.eng.Now()
+	op.tTxStart = op.r.eng.Now()
 	op.rec(trace.PhaseTxStart, fmt.Sprintf("%d chunks", op.cpr))
 	op.postBatch()
 }
@@ -325,7 +325,7 @@ func (op *opState) postBatch() {
 		op.txComplete()
 		return
 	}
-	t := r.comm.eng.Now()
+	t := r.eng.Now()
 	for i := 0; i < b; i++ {
 		local := op.txNext
 		op.txNext++
@@ -334,7 +334,7 @@ func (op *opState) postBatch() {
 			signaled = 1
 		}
 		t = r.txThread.Run(dpa.SendPost, t)
-		r.comm.eng.AtHandler(t, op, uint64(local), signaled, nil)
+		r.eng.AtHandler(t, op, uint64(local), signaled, nil)
 	}
 }
 
@@ -396,7 +396,7 @@ func (op *opState) txComplete() {
 		return
 	}
 	op.txDone = true
-	op.tTxDone = op.r.comm.eng.Now()
+	op.tTxDone = op.r.eng.Now()
 	op.rec(trace.PhaseTxDone, "")
 	if next := op.chainNext(); next >= 0 {
 		op.rec(trace.PhaseActivate, fmt.Sprintf("-> rank %d", next))
@@ -487,7 +487,7 @@ func (op *opState) maybeRxDone() {
 		return // never complete before RNR synchronization
 	}
 	op.rxDone = true
-	op.tRxDone = op.r.comm.eng.Now()
+	op.tRxDone = op.r.eng.Now()
 	op.rec(trace.PhaseRxDone, "")
 	op.cutoff.Cancel()
 	// Final handshake: tell the left neighbor we have everything.
@@ -511,7 +511,7 @@ func (op *opState) checkDone() {
 		return
 	}
 	op.done = true
-	op.tDone = op.r.comm.eng.Now()
+	op.tDone = op.r.eng.Now()
 	op.rec(trace.PhaseDone, "")
 	r := op.r
 	for _, qp := range r.dataQPs {

@@ -44,6 +44,10 @@ type Rank struct {
 	id   int
 	host topology.NodeID
 	ctx  *verbs.Context
+	// eng is the engine owning this rank's host — the primary shard on a
+	// confined fabric, the host's own shard on a partitioned one. All of
+	// the rank's protocol events (dispatch, timers, batch posts) run here.
+	eng *sim.Engine
 
 	cpu *dpa.Chip
 	dpa *dpa.Chip // nil unless RxOnDPA
@@ -101,6 +105,7 @@ func newRank(c *Communicator, id int, host topology.NodeID) (*Rank, error) {
 		id:      id,
 		host:    host,
 		ctx:     node.Ctx,
+		eng:     node.Ctx.Engine(),
 		ctrl:    make(map[int]*verbs.QP),
 		qpPeer:  make(map[verbs.QPN]int),
 		slotMRs: make(map[verbs.QPN]*verbs.MR),
@@ -154,7 +159,7 @@ func newRank(c *Communicator, id int, host topology.NodeID) (*Rank, error) {
 		if cfg.ArbitratedRx {
 			arbiters[s].Subscribe(cq, func(e verbs.CQE) { r.handleData(s, e) })
 		} else {
-			w := dpa.NewWorker(c.eng, r.rxThreads[s], cq, rxProfile)
+			w := dpa.NewWorker(r.eng, r.rxThreads[s], cq, rxProfile)
 			w.Handle = func(e verbs.CQE) { r.handleData(s, e) }
 			r.rxWkrs = append(r.rxWkrs, w)
 			w.Start()
@@ -167,10 +172,10 @@ func newRank(c *Communicator, id int, host topology.NodeID) (*Rank, error) {
 	}
 
 	// Control workers.
-	r.appWkr = dpa.NewWorker(c.eng, r.appThread, r.ctrlCQ, dpa.TaskDispatch)
+	r.appWkr = dpa.NewWorker(r.eng, r.appThread, r.ctrlCQ, dpa.TaskDispatch)
 	r.appWkr.Handle = func(e verbs.CQE) { r.handleCtrl(e) }
 	r.appWkr.Start()
-	r.txWkr = dpa.NewWorker(c.eng, r.txThread, r.txCQ, dpa.SendPost)
+	r.txWkr = dpa.NewWorker(r.eng, r.txThread, r.txCQ, dpa.SendPost)
 	r.txWkr.Handle = func(e verbs.CQE) { r.handleTxComp(e) }
 	r.txWkr.Start()
 

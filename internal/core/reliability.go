@@ -26,7 +26,7 @@ func (op *opState) armCutoff() {
 	wire := float64(op.roots) * float64(op.n) * (1 + float64(cfg.HeaderBytes)/float64(op.chunk))
 	ideal := sim.Time(wire / cfg.LinkBandwidth * 1e9)
 	d := 2*ideal + r.comm.cfg.CutoffAlpha
-	op.cutoff = r.comm.eng.AfterHandler(d, op, 0, opEvCutoff, nil)
+	op.cutoff = r.eng.AfterHandler(d, op, 0, opEvCutoff, nil)
 }
 
 // startRecovery scans the bitmap and asks the left ring neighbor for the

@@ -1,0 +1,190 @@
+package fabric
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// The partitioned pipeline's determinism contract, exercised directly at
+// the packet level: a randomized mix of unicast and multicast injections
+// from every host must produce, at every shard count, the exact per-host
+// delivery sequence (packet identity and arrival time, in order) that the
+// single-shard partitioned run produces — and the same per-host arrival
+// time multiset as the serial confined pipeline, which shares the
+// serializer math but not the scheduling path.
+
+// delivery is one packet landing at a host.
+type delivery struct {
+	id uint64
+	at sim.Time
+}
+
+// propTopology is a two-level fat tree: big enough that packets cross
+// host->leaf, leaf->spine, spine->leaf and leaf->host channels (so both
+// host-owned and hashed switch-switch ownership run), small enough that
+// the property runs in milliseconds.
+func propTopology(t *testing.T) *topology.Graph {
+	t.Helper()
+	g, err := topology.TwoLevelFatTree(topology.FatTreeSpec{
+		Hosts: 12, HostsPerLeaf: 4, Spines: 2, TrunkLinks: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// propInjections schedules the deterministic pseudorandom traffic onto the
+// hosts' own engines: per host, a splitmix-derived stream of injection
+// times in [0, 50 µs), payload sizes, unicast destinations, and a 1-in-4
+// chance of multicasting to the all-hosts group instead. The stream
+// depends only on the seed, never on the shard count.
+func propInjections(f *Fabric, nics []*NIC, gid GroupID, seed uint64) {
+	hosts := f.Graph().Hosts()
+	for i, nic := range nics {
+		nic := nic
+		rng := sim.NewRNG(sim.Splitmix64(seed ^ sim.Splitmix64(uint64(i))))
+		eng := f.HostEngine(nic.Host)
+		for k := 0; k < 40; k++ {
+			at := sim.Time(rng.Uint64() % 50_000)
+			size := 64 + int(rng.Uint64()%4033)
+			flow := rng.Uint64()
+			var pkt Packet
+			if rng.Uint64()%4 == 0 {
+				pkt = Packet{Group: gid, Flow: flow, PayloadBytes: size}
+			} else {
+				dst := hosts[(i+1+int(rng.Uint64()%uint64(len(hosts)-1)))%len(hosts)]
+				pkt = Packet{Dst: dst, Group: NoGroup, Flow: flow, PayloadBytes: size}
+			}
+			eng.At(at, func() { nic.Inject(&pkt) })
+		}
+	}
+}
+
+// runPartitioned executes the randomized traffic on a partitioned fabric
+// at the given shard count and returns each host's delivery sequence in
+// arrival order. Partitioning must engage — the test is void otherwise.
+func runPartitioned(t *testing.T, shards int, seed uint64) [][]delivery {
+	t.Helper()
+	g := propTopology(t)
+	var eng *sim.Engine
+	if shards == 1 {
+		eng = sim.NewEngine(seed)
+	} else {
+		_, eng = NewShardedEngine(seed, g, Config{}, shards)
+	}
+	f := New(eng, g, Config{})
+	if !f.EnablePartition() {
+		t.Fatalf("shards=%d: EnablePartition refused a pristine fabric", shards)
+	}
+	hosts := g.Hosts()
+	gid, err := f.CreateGroup(g.TopSwitches()[0], hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]delivery, len(hosts))
+	nics := make([]*NIC, len(hosts))
+	for i, h := range hosts {
+		i, h := i, h
+		nics[i] = f.AttachNIC(h)
+		if err := nics[i].AttachGroup(gid); err != nil {
+			t.Fatal(err)
+		}
+		hostEng := f.HostEngine(h)
+		// Deliver runs on the host's owning shard; each host appends only
+		// to its own slice, so concurrent shards never share a slot.
+		nics[i].Deliver = func(pkt *Packet) {
+			got[i] = append(got[i], delivery{id: pkt.ID, at: hostEng.Now()})
+		}
+	}
+	propInjections(f, nics, gid, seed)
+	eng.Run()
+	return got
+}
+
+// runConfined executes the same traffic through the serial confined
+// pipeline (no EnablePartition) and returns each host's arrival times in
+// order. Packet IDs come from the global counter there, so only times are
+// comparable across the two pipelines.
+func runConfined(t *testing.T, seed uint64) [][]sim.Time {
+	t.Helper()
+	g := propTopology(t)
+	eng := sim.NewEngine(seed)
+	f := New(eng, g, Config{})
+	hosts := g.Hosts()
+	gid, err := f.CreateGroup(g.TopSwitches()[0], hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]sim.Time, len(hosts))
+	nics := make([]*NIC, len(hosts))
+	for i, h := range hosts {
+		i := i
+		nics[i] = f.AttachNIC(h)
+		if err := nics[i].AttachGroup(gid); err != nil {
+			t.Fatal(err)
+		}
+		nics[i].Deliver = func(*Packet) {
+			got[i] = append(got[i], eng.Now())
+		}
+	}
+	propInjections(f, nics, gid, seed)
+	eng.Run()
+	return got
+}
+
+// TestPartitionedDeliveryInvariance is the randomized cross-shard ordering
+// property: per-host delivery sequences are byte-identical to the
+// single-shard partitioned reference at every shard count in the
+// acceptance matrix (including counts that do not divide the host count),
+// and per-host arrival-time multisets match the serial confined pipeline.
+func TestPartitionedDeliveryInvariance(t *testing.T) {
+	for _, seed := range []uint64{3, 17} {
+		ref := runPartitioned(t, 1, seed)
+		total := 0
+		for _, seq := range ref {
+			total += len(seq)
+		}
+		if total == 0 {
+			t.Fatalf("seed %d: reference run delivered nothing", seed)
+		}
+		for _, shards := range []int{2, 3, 8} {
+			got := runPartitioned(t, shards, seed)
+			for h := range ref {
+				if len(got[h]) != len(ref[h]) {
+					t.Fatalf("seed %d shards=%d host %d: %d deliveries, want %d",
+						seed, shards, h, len(got[h]), len(ref[h]))
+				}
+				for k := range ref[h] {
+					if got[h][k] != ref[h][k] {
+						t.Fatalf("seed %d shards=%d host %d delivery %d: %+v, want %+v",
+							seed, shards, h, k, got[h][k], ref[h][k])
+					}
+				}
+			}
+		}
+		conf := runConfined(t, seed)
+		for h := range ref {
+			if len(conf[h]) != len(ref[h]) {
+				t.Fatalf("seed %d host %d: confined delivered %d, partitioned %d",
+					seed, h, len(conf[h]), len(ref[h]))
+			}
+			part := make([]sim.Time, len(ref[h]))
+			for k, d := range ref[h] {
+				part[k] = d.at
+			}
+			sorted := append([]sim.Time(nil), conf[h]...)
+			sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+			sort.Slice(part, func(a, b int) bool { return part[a] < part[b] })
+			for k := range part {
+				if part[k] != sorted[k] {
+					t.Fatalf("seed %d host %d: arrival-time multisets diverge at %d: partitioned %v, confined %v",
+						seed, h, k, part[k], sorted[k])
+				}
+			}
+		}
+	}
+}

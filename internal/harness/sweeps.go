@@ -10,6 +10,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/model"
 	"repro/internal/registry"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -54,20 +55,28 @@ func rxConfig(s sweep.Spec) (RxBenchConfig, error) {
 }
 
 // addEngineMetrics surfaces the engine's throughput counters on a Record.
-// All three are deterministic event counts (never wall-clock rates), so
-// the byte-identical-JSON contract of the sweep engine is preserved; the
+// Both are deterministic event counts (never wall-clock rates), so the
+// byte-identical-JSON contract of the sweep engine is preserved; the
 // wall-clock events/sec trajectory lives in the Benchmark* suite and
-// BENCH_perf.json instead.
+// BENCH_perf.json instead. On a sharded group the totals sum across
+// shards: every logical event is scheduled and fired exactly once on
+// exactly one shard, so the sums match the serial engine's counts at any
+// -shards value. (Pool recycling is not invariant — reuse depends on the
+// per-shard free-list interleave — so recycled counts stay out of
+// Records; they remain visible as Diagnostic telemetry.)
 func addEngineMetrics(rec *sweep.Record, eng *sim.Engine) {
-	addEngineCounts(rec, eng.Executed, eng.Scheduled, eng.Recycled)
+	if g := eng.Group(); g != nil {
+		addEngineCounts(rec, g.ExecutedTotal(), g.ScheduledTotal())
+		return
+	}
+	addEngineCounts(rec, eng.Executed, eng.Scheduled)
 }
 
 // addEngineCounts is the counter-carrying variant for kernels whose engine
 // is not in scope (rxbench snapshots the counters into its result).
-func addEngineCounts(rec *sweep.Record, executed, scheduled, recycled uint64) {
+func addEngineCounts(rec *sweep.Record, executed, scheduled uint64) {
 	rec.Metrics["sim_events"] = float64(executed)
 	rec.Metrics["sim_scheduled"] = float64(scheduled)
-	rec.Metrics["sim_recycled"] = float64(recycled)
 }
 
 // RxKernel is the sweep kernel for the receive-datapath microbenchmark
@@ -88,13 +97,15 @@ func RxKernel(s sweep.Spec) (sweep.Record, error) {
 		"instr_cqe":  float64(r.Profile.IssueCycles),
 		"cycles_cqe": float64(r.Profile.LatencyCycles),
 	}}
-	addEngineCounts(&rec, r.Events, r.EventsScheduled, r.EventsRecycled)
+	addEngineCounts(&rec, r.Events, r.EventsScheduled)
 	if reg := newRegistry(); reg != nil {
 		// The microbenchmark's engine is out of scope here; export the
-		// counter snapshot its result carries.
+		// counter snapshot its result carries. Recycled is Diagnostic:
+		// pool reuse depends on the shard layout, so it has no place in
+		// canonical metrics.
 		reg.Counter("sim", "events", "", telemetry.Stable).Add(r.Events)
 		reg.Counter("sim", "scheduled", "", telemetry.Stable).Add(r.EventsScheduled)
-		reg.Counter("sim", "recycled", "", telemetry.Stable).Add(r.EventsRecycled)
+		reg.Counter("sim", "recycled", "", telemetry.Diagnostic).Add(r.EventsRecycled)
 		rec.Telemetry = reg.Snapshot()
 	}
 	return rec, nil
@@ -130,6 +141,16 @@ func collPoint(s sweep.Spec) (collPt, error) {
 	}
 	reg := newRegistry()
 	cl := cluster.New(f, cluster.Config{Verbs: verbs.Config{Metrics: reg}})
+	// Partition the fabric across the engine shards when nothing pins the
+	// point to the primary: no perturbation scenario (the quiet anchor is
+	// injector-free), no telemetry registry (collectors read shared fabric
+	// state), and a partition-safe algorithm. The pipeline runs at every
+	// shard count including 1, so the Records are byte-identical at any
+	// -shards value — partitioning only changes which cores do the work.
+	if (s.Scenario == "" || s.Scenario == scenario.Quiet) && reg == nil &&
+		registry.PartitionSafe(s.Algorithm) {
+		f.EnablePartition()
+	}
 	alg, err := registry.New(cl, s.Algorithm, registry.Options{
 		Hosts: hosts[:s.Nodes],
 		Core:  core.Config{Transport: verbs.UD, Metrics: reg},
@@ -564,6 +585,12 @@ func OSUKernel(cfg OSUConfig) sweep.Func {
 		f := fabric.New(eng, g, fcfg)
 		reg := newRegistry()
 		cl := cluster.New(f, cluster.Config{Verbs: verbs.Config{Metrics: reg}})
+		// Same partition gate as collPoint; delivery jitter additionally
+		// pins the point (the jitter RNG is fabric-global per-delivery
+		// state, which partitioned transmit does not replicate).
+		if reg == nil && cfg.JitterUS == 0 && registry.PartitionSafe(s.Algorithm) {
+			f.EnablePartition()
+		}
 		alg, err := registry.New(cl, s.Algorithm, registry.Options{
 			Hosts: g.Hosts()[:s.Nodes],
 			Core:  core.Config{Metrics: reg},

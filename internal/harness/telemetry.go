@@ -60,20 +60,26 @@ func armFabricTelemetry(reg *telemetry.Registry, f *fabric.Fabric) *telemetry.Sa
 	return s
 }
 
-// collectEngineTelemetry exports the engine's event counters. The totals
-// are Stable — for the harness models every event runs on the primary
-// shard, so the counts match the serial engine exactly (the same invariant
-// the sim_events record metric relies on). Epoch/stall counts and the
-// per-shard split only exist under -shards > 1 and depend on the shard
-// count, so they are Diagnostic: visible to benchmarks and `repro trace`,
-// excluded from canonical metrics.json.
+// collectEngineTelemetry exports the engine's event counters. Events and
+// scheduled totals are Stable: on a sharded group they sum across shards,
+// and every logical event is scheduled and fired exactly once on exactly
+// one shard, so the sums match the serial engine at any -shards value
+// (the same invariant the sim_events record metric relies on). Recycled
+// is Diagnostic — event-pool reuse depends on the per-shard free-list
+// interleave, so it is visible to benchmarks and `repro trace` but
+// excluded from canonical metrics.json, as are the epoch/stall counts and
+// the per-shard split that only exist under -shards > 1.
 func collectEngineTelemetry(reg *telemetry.Registry, eng *sim.Engine) {
 	if reg == nil {
 		return
 	}
-	reg.Counter("sim", "events", "", telemetry.Stable).Add(eng.Executed)
-	reg.Counter("sim", "scheduled", "", telemetry.Stable).Add(eng.Scheduled)
-	reg.Counter("sim", "recycled", "", telemetry.Stable).Add(eng.Recycled)
+	executed, scheduled, recycled := eng.Executed, eng.Scheduled, eng.Recycled
+	if g := eng.Group(); g != nil {
+		executed, scheduled, recycled = g.ExecutedTotal(), g.ScheduledTotal(), g.RecycledTotal()
+	}
+	reg.Counter("sim", "events", "", telemetry.Stable).Add(executed)
+	reg.Counter("sim", "scheduled", "", telemetry.Stable).Add(scheduled)
+	reg.Counter("sim", "recycled", "", telemetry.Diagnostic).Add(recycled)
 	if g := eng.Group(); g != nil {
 		reg.Counter("sim", "epochs", "", telemetry.Diagnostic).Add(g.Epochs)
 		reg.Counter("sim", "epoch_stalls", "", telemetry.Diagnostic).Add(g.Stalls)

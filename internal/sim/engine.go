@@ -288,6 +288,14 @@ type Engine struct {
 	// MailSent counts cross-shard Send calls issued by this engine. Like
 	// the counters above it is a deterministic count, never a rate.
 	MailSent uint64
+
+	// lastFired is the firing time of the most recent executed event. The
+	// clock itself can overshoot it — RunUntil (and the sharded epoch
+	// slices built on it) advance now to the slice deadline when the queue
+	// runs dry — so the group's Run uses lastFired to settle every shard
+	// on the time of the globally last event, the value the serial engine
+	// would have ended at regardless of shard count.
+	lastFired Time
 }
 
 // localSeqBand is the first sequence number handed to locally-scheduled
@@ -352,6 +360,34 @@ func (e *Engine) AtHandler(t Time, h Handler, arg0 uint64, arg1 int, obj any) Ha
 	ev.at = t
 	ev.seq = e.seq
 	e.seq++
+	ev.h = h
+	ev.arg0 = arg0
+	ev.arg1 = arg1
+	ev.obj = obj
+	e.schedule(ev)
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// AtOrdered schedules h.OnEvent like AtHandler but with a caller-chosen
+// sequence key from the reserved low band instead of the engine's own
+// counter — the local twin of Engine.Send. A subsystem whose same-time
+// event order must be a pure function of (time, order) uses Send when the
+// destination state lives on another shard and AtOrdered when it is local
+// (including the shards=1 case, where everything is), so the firing order
+// at equal times is identical at every shard count. Keys must be unique
+// per (engine, time): the calendar's bucket sort is unstable on equal
+// (time, seq), so a colliding key surrenders the determinism the band
+// exists to provide.
+func (e *Engine) AtOrdered(t Time, order uint64, h Handler, arg0 uint64, arg1 int, obj any) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling ordered event at %v before now %v", t, e.now))
+	}
+	if order >= localSeqBand {
+		panic(fmt.Sprintf("sim: AtOrdered key %#x intrudes on the local sequence band", order))
+	}
+	ev := e.get()
+	ev.at = t
+	ev.seq = order
 	ev.h = h
 	ev.arg0 = arg0
 	ev.arg1 = arg1
@@ -618,6 +654,7 @@ func (e *Engine) step() bool {
 		panic("sim: event queue time went backwards")
 	}
 	e.now = ev.at
+	e.lastFired = ev.at
 	e.Executed++
 	e.live--
 	ev.fired = true

@@ -160,6 +160,28 @@ func (g *Sharded) ExecutedTotal() uint64 {
 	return n
 }
 
+// ScheduledTotal sums scheduled events across all shards. A cross-shard
+// send counts once, on the destination, exactly like the equivalent local
+// AtOrdered — so the total is invariant across shard counts.
+func (g *Sharded) ScheduledTotal() uint64 {
+	var n uint64
+	for _, e := range g.shards {
+		n += e.Scheduled
+	}
+	return n
+}
+
+// RecycledTotal sums event-pool hits across all shards. Unlike the
+// executed/scheduled totals this is NOT shard-count-invariant: pool reuse
+// depends on how events interleave within each shard's own free list.
+func (g *Sharded) RecycledTotal() uint64 {
+	var n uint64
+	for _, e := range g.shards {
+		n += e.Recycled
+	}
+	return n
+}
+
 // MailedTotal sums cross-shard messages sent across all shards.
 func (g *Sharded) MailedTotal() uint64 {
 	var n uint64
@@ -190,7 +212,7 @@ func (e *Engine) assertPrimary(op string) {
 // non-primary shard fails loudly instead of racing.
 func AssertShardable(e *Engine, subsystem string) {
 	if e.group != nil && e.shard != 0 {
-		panic(fmt.Sprintf("sim: %s holds cross-shard state and must be built on the primary shard, not shard %d", subsystem, e.shard))
+		panic(fmt.Sprintf("sim: %s holds cross-shard state and must be built on the primary shard (0), not shard %d of %d", subsystem, e.shard, len(e.group.shards)))
 	}
 }
 
@@ -221,7 +243,8 @@ func (e *Engine) Send(dst int, at Time, order uint64, h Handler, arg0 uint64, ar
 		panic(fmt.Sprintf("sim: Send order key %#x overflows the cross-shard band (must be < 1<<63)", order))
 	}
 	if at < e.now+g.lookahead {
-		panic(fmt.Sprintf("sim: Send at %v violates lookahead %v (now %v): conservative parallel execution cannot admit it", at, g.lookahead, e.now))
+		panic(fmt.Sprintf("sim: Send from shard %d to shard %d at %v violates lookahead %v (sender now %v, earliest admissible %v, order key %#x): conservative parallel execution cannot admit it",
+			e.shard, dst, at, g.lookahead, e.now, e.now+g.lookahead, order))
 	}
 	e.sentFlag = true
 	e.MailSent++
@@ -248,15 +271,31 @@ func (e *Engine) scheduleMail(m *message) {
 }
 
 // Run executes the whole group until every shard's queue and every mailbox
-// is empty (or Stop is called on a shard). It returns the latest shard
-// clock, matching the serial Run contract for single-shard models.
+// is empty (or Stop is called on a shard). It returns the time of the
+// globally last fired event, matching the serial Run contract: a serial
+// engine's clock ends exactly there, while a sharded epoch slice can
+// overshoot an idle shard's clock to the slice deadline — an amount that
+// depends on the epoch geometry and hence the shard count. Every shard's
+// clock is settled on the returned time (clocks that overshot move back;
+// the queues are empty, so no scheduled event can observe it), so
+// partitioned subsystems that read their own shard's Now() after a drain
+// (to timestamp the next operation) observe the same value on every shard
+// at every shard count.
 func (g *Sharded) Run() Time {
-	g.run(MaxTime)
 	var t Time
 	for _, e := range g.shards {
 		if e.now > t {
-			t = e.now
+			t = e.now // clocks already advanced (e.g. a prior RunUntil) floor the result
 		}
+	}
+	g.run(MaxTime)
+	for _, e := range g.shards {
+		if e.lastFired > t {
+			t = e.lastFired
+		}
+	}
+	for _, e := range g.shards {
+		e.now = t
 	}
 	return t
 }
