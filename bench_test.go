@@ -12,6 +12,7 @@ package repro
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/model"
@@ -228,6 +229,45 @@ func BenchmarkAllreduce16(b *testing.B) {
 	executed := sys.Engine.Executed - start
 	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "events/sec")
 	b.ReportMetric(float64(executed)/float64(b.N), "events/op")
+}
+
+// BenchmarkChaosSweepWarm measures the warm-start speedup on an 8-point
+// chaosbench grid (mcast-allgather under all eight scenarios at 16 nodes /
+// 4 KiB): each iteration runs the sweep cold (a fresh model stack per
+// point) and warm (one built stack per partition class, forked per
+// scenario) and reports the wall-clock ratio. fork-speedup is a
+// same-machine ratio — like the sharded-engine speedup metric — and is
+// floor-gated in CI; sweep-wall-ms and snapshot-bytes are informational
+// trajectory metrics.
+func BenchmarkChaosSweepWarm(b *testing.B) {
+	g := harness.ResilienceGrid([]string{"mcast-allgather"},
+		[]string{"quiet", "flap-spine", "straggler-1pct", "tenant-50load",
+			"tenant-20load", "degrade-leaf", "hotspot-drop", "incast-4to1"}, 16, 4096, 7)
+	if _, err := harness.WarmResilienceRecords(g, 1); err != nil { // warm caches and the event pool allocator
+		b.Fatal(err)
+	}
+	var cold, warm time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := harness.ResilienceRecords(g, 1); err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		if _, err := harness.WarmResilienceRecords(g, 1); err != nil {
+			b.Fatal(err)
+		}
+		cold += t1.Sub(t0)
+		warm += time.Since(t1)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cold)/float64(warm), "fork-speedup")
+	b.ReportMetric(float64(warm)/float64(b.N)/1e6, "sweep-wall-ms")
+	if inst, err := (harness.WarmResilience{}).Build(g.Expand()[0]); err == nil {
+		if sz, ok := inst.(interface{ Bytes() int }); ok {
+			b.ReportMetric(float64(sz.Bytes()), "snapshot-bytes")
+		}
+	}
 }
 
 // BenchmarkAppBSpeedup measures the concurrent {AG, RS} speedup at P=16

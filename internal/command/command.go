@@ -28,6 +28,7 @@ var subcommands = []subcommand{
 	{"validate", "check manifests without running: repro validate <manifest...>", runValidate},
 	{"list", "print registered kinds, algorithms, scenarios, workloads and presets", runList},
 	{"trace", "summarize a telemetry metrics.json: repro trace [-top N] <metrics.json>", runTraceCmd},
+	{"replay", "seek-and-step debugger over one collective point: repro replay [-at US] [-steps N] <manifest>", runReplay},
 	{"osu", "OSU-style collective microbenchmark (was cmd/osu)", runOSU},
 	{"ag", "at-scale collective figures 10/11 (was cmd/agbench)", runAG},
 	{"traffic", "figure 12 switch-port traffic (was cmd/trafficbench)", runTraffic},

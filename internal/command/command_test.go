@@ -118,6 +118,62 @@ func TestValidateSubcommand(t *testing.T) {
 	}
 }
 
+// TestValidateDirectories covers the directory form of `repro validate`:
+// a directory argument expands to the manifests inside it, an empty
+// directory is an error, and the whole shipping tree — including the
+// determinism twins that share report names by design — validates clean.
+func TestValidateDirectories(t *testing.T) {
+	tree := filepath.Join("..", "..", "manifests")
+	code, out, stderr := run("validate", tree)
+	if code != 0 {
+		t.Fatalf("validate %s: exit %d, stderr %q", tree, code, stderr)
+	}
+	for _, want := range []string{
+		"ok " + filepath.Join(tree, "pr.json"),
+		"ok " + filepath.Join(tree, "chaos-warm.json"),
+		"ok " + filepath.Join(tree, "telemetry-w1.json"),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("directory expansion missing %q in:\n%s", want, out)
+		}
+	}
+
+	if code, _, stderr := run("validate", t.TempDir()); code != 2 ||
+		!strings.Contains(stderr, "directory holds no manifests") {
+		t.Errorf("empty directory: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestValidateDuplicates pins the two rejection rules of the batch form:
+// two manifests may never declare the same output basename (a -o DIR
+// batch would silently overwrite), and manifests without any outputs must
+// carry distinct report names.
+func TestValidateDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	a := smallOSUManifest(t, dir, "a.json", "SAME.json", "")
+	b := smallOSUManifest(t, dir, "b.json", "SAME.json", "")
+	code, _, stderr := run("validate", a, b)
+	if code != 2 || !strings.Contains(stderr, `duplicate output artifact "SAME.json"`) {
+		t.Errorf("colliding artifact: exit %d, stderr %q", code, stderr)
+	}
+
+	// Same grid, no outputs: both derive the name osu-mcast-allgather.
+	bare1 := smallOSUManifest(t, dir, "bare1.json", "", "")
+	bare2 := smallOSUManifest(t, dir, "bare2.json", "", "")
+	code, _, stderr = run("validate", bare1, bare2)
+	if code != 2 || !strings.Contains(stderr, "duplicate manifest name") {
+		t.Errorf("duplicate bare name: exit %d, stderr %q", code, stderr)
+	}
+
+	// Shared name is fine once each declares its own artifact — the
+	// determinism-twin pattern.
+	c := smallOSUManifest(t, dir, "c.json", "C.json", "")
+	d := smallOSUManifest(t, dir, "d.json", "D.json", "")
+	if code, _, stderr := run("validate", c, d); code != 0 {
+		t.Errorf("twins with disjoint artifacts: exit %d, stderr %q", code, stderr)
+	}
+}
+
 // TestManifestShardMatrix runs the three shipping manifest families that
 // exercise distinct stacks — pr (OSU collectives, partitioned), chaos
 // (scenario kernel with the partitioned quiet anchor), train (workload

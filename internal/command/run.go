@@ -117,19 +117,88 @@ func redirectOutputs(m *manifest.Manifest, dir string) {
 	}
 }
 
-// runValidate implements `repro validate <manifest...>`: parse and
+// manifestExts are the filename extensions expandManifestDirs collects.
+var manifestExts = map[string]bool{".json": true, ".yaml": true, ".yml": true}
+
+// expandManifestDirs replaces each directory argument with the manifest
+// files directly inside it (*.json, *.yaml, *.yml; sorted, non-recursive),
+// so `repro validate manifests` covers the whole tree without the caller
+// hand-listing files — and without a stale shell glob silently skipping a
+// newly added manifest.
+func expandManifestDirs(paths []string) ([]string, error) {
+	var out []string
+	for _, p := range paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			out = append(out, p)
+			continue
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		for _, e := range entries {
+			if e.IsDir() || !manifestExts[filepath.Ext(e.Name())] {
+				continue
+			}
+			out = append(out, filepath.Join(p, e.Name()))
+			n++
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("%s: directory holds no manifests (*.json, *.yaml, *.yml)", p)
+		}
+	}
+	return out, nil
+}
+
+// artifactBasenames lists the basenames of every output file a manifest
+// declares. Basenames, not paths: -o DIR rebases outputs by basename, so
+// that is the granularity at which a batch can collide.
+func artifactBasenames(m *manifest.Manifest) []string {
+	var out []string
+	add := func(p string) {
+		if p != "" {
+			out = append(out, filepath.Base(p))
+		}
+	}
+	add(m.Output.JSON)
+	add(m.Output.CSV)
+	if m.Telemetry != nil {
+		add(m.Telemetry.Metrics)
+		add(m.Telemetry.Perfetto)
+	}
+	return out
+}
+
+// runValidate implements `repro validate <manifest-or-dir...>`: parse and
 // compile every named manifest without executing anything, reporting all
-// failures before exiting.
+// failures before exiting. Directory arguments expand to the manifests
+// inside them. Duplicates across the set are rejected: two manifests may
+// share a report name only if they write disjoint artifacts (the
+// determinism-twin pattern — the same experiment at different -workers or
+// -shards, byte-compared by CI), and no two manifests may declare the same
+// output basename, which would silently overwrite when a batch runs them
+// into one -o directory.
 func runValidate(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("repro validate", flag.ContinueOnError)
 	if code := parseFlags(fs, args, stderr); code >= 0 {
 		return code
 	}
 	if fs.NArg() == 0 {
-		return fail(stderr, 2, "usage: repro validate <manifest...>")
+		return fail(stderr, 2, "usage: repro validate <manifest-or-dir...>")
+	}
+	paths, err := expandManifestDirs(fs.Args())
+	if err != nil {
+		return fail(stderr, 2, "validate: %v", err)
 	}
 	bad := 0
-	for _, path := range fs.Args() {
+	bareNames := make(map[string]string, len(paths)) // artifact-less name -> first path
+	artifacts := make(map[string]string, len(paths)) // output basename -> first path
+	for _, path := range paths {
 		m, err := manifest.ParseFile(path)
 		if err != nil {
 			fmt.Fprintf(stderr, "%s: %v\n", path, err)
@@ -142,6 +211,29 @@ func runValidate(args []string, stdout, stderr io.Writer) int {
 			bad++
 			continue
 		}
+		outs := artifactBasenames(&m)
+		dup := false
+		if len(outs) == 0 {
+			if first, ok := bareNames[plan.Name]; ok {
+				fmt.Fprintf(stderr, "%s: duplicate manifest name %q (also %s); manifests without outputs must have distinct names\n",
+					path, plan.Name, first)
+				dup = true
+			} else {
+				bareNames[plan.Name] = path
+			}
+		}
+		for _, o := range outs {
+			if first, ok := artifacts[o]; ok {
+				fmt.Fprintf(stderr, "%s: duplicate output artifact %q (also declared by %s)\n", path, o, first)
+				dup = true
+			} else {
+				artifacts[o] = path
+			}
+		}
+		if dup {
+			bad++
+			continue
+		}
 		points := 0
 		for _, sec := range plan.Sections {
 			points += len(sec.Specs)
@@ -150,7 +242,7 @@ func runValidate(args []string, stdout, stderr io.Writer) int {
 			path, m.Kind, plan.Name, len(plan.Sections), points)
 	}
 	if bad > 0 {
-		return fail(stderr, 2, "validate: %d of %d manifests invalid", bad, fs.NArg())
+		return fail(stderr, 2, "validate: %d of %d manifests invalid", bad, len(paths))
 	}
 	return 0
 }

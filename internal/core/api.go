@@ -18,6 +18,38 @@ type RankStats = collective.RankStats
 // collective.Result, with the PerRank critical-path extension filled in.
 type Result = collective.Result
 
+// completion tracks the all-rank countdown of one in-flight operation. It
+// hangs off the Communicator rather than living in closure-captured locals
+// so a model-state capture (internal/snap) reaches it: a mid-run fork that
+// rewinds an in-flight operation must rewind the countdown too, or the
+// replayed ranks would decrement an exhausted counter and done would never
+// re-fire. Ranks complete on their own shards, possibly inside one epoch:
+// the countdown is mutex-guarded and End accumulates as the max of each
+// completing rank's clock (equal to the old last-completion reading on a
+// confined fabric, where the clock is shared and monotonic).
+type completion struct {
+	mu        sync.Mutex
+	remaining int
+	res       *Result
+	done      func(*Result)
+}
+
+// rankDone retires one rank from the current operation's countdown.
+func (c *Communicator) rankDone(rk *Rank) {
+	cp := c.compl
+	cp.res.PerRank[rk.id] = rk.op.stats()
+	rk.TotalRNRDrops = rk.ctx.RNRDrops
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if t := rk.eng.Now(); t > cp.res.End {
+		cp.res.End = t
+	}
+	cp.remaining--
+	if cp.remaining == 0 && cp.done != nil {
+		cp.done(cp.res)
+	}
+}
+
 // startOp builds the per-rank op states and dispatches them onto the app
 // threads. done runs once every rank has completed.
 func (c *Communicator) startOp(kind opKind, root, n int, done func(*Result)) error {
@@ -54,14 +86,8 @@ func (c *Communicator) startOp(kind opKind, root, n int, done func(*Result)) err
 		Start:     c.eng.Now(),
 		PerRank:   make([]RankStats, p),
 	}
-	// Ranks complete on their own shards, possibly inside one epoch: the
-	// countdown is mutex-guarded and End accumulates as the max of each
-	// completing rank's clock (equal to the old last-completion reading on
-	// a confined fabric, where the clock is shared and monotonic).
-	var mu sync.Mutex
-	remaining := p
+	c.compl = &completion{remaining: p, res: res, done: done}
 	for _, r := range c.ranks {
-		r := r
 		op := &opState{
 			r:     r,
 			seq:   seq,
@@ -88,21 +114,7 @@ func (c *Communicator) startOp(kind opKind, root, n int, done func(*Result)) err
 			}
 		}
 		op.bm = bitmap.New(total)
-		op.cb = func(rk *Rank) {
-			res.PerRank[rk.id] = rk.op.stats()
-			rk.TotalRNRDrops = rk.ctx.RNRDrops
-			mu.Lock()
-			defer mu.Unlock()
-			if t := rk.eng.Now(); t > res.End {
-				res.End = t
-			}
-			remaining--
-			if remaining == 0 {
-				if done != nil {
-					done(res)
-				}
-			}
-		}
+		op.cb = c.rankDone
 		r.op = op
 		// Dispatch on the app thread (task-queue handoff cost, §IV-B). Start
 		// runs between engine runs with aligned clocks, so reading c.eng here

@@ -149,6 +149,7 @@ type Communicator struct {
 	groups []fabric.GroupID // one per subgroup
 
 	opSeq int
+	compl *completion // countdown of the in-flight op, nil when idle
 }
 
 // NewCommunicator builds a communicator over the given hosts with a

@@ -195,7 +195,7 @@ func New(eng *sim.Engine, g *topology.Graph, cfg Config) *Fabric {
 		g:    g,
 		rt:   g.BuildRouting(),
 		cfg:  cfg,
-		rng:  eng.RNG().Split(),
+		rng:  eng.SplitRNG(),
 		nics: make(map[topology.NodeID]*NIC),
 	}
 	f.arriveH = (*arriveHandler)(f)

@@ -55,15 +55,26 @@ func ResilienceGrid(algos, scenarios []string, nodes, msgBytes int, seed uint64)
 // worker count), starts the algorithm non-blocking, and stops the scenario
 // the moment the collective completes so the engine drains.
 func ResilienceKernel(s sweep.Spec) (sweep.Record, error) {
-	sc, err := scenario.New(s.Scenario)
-	if err != nil {
+	if _, err := scenario.New(s.Scenario); err != nil {
 		return sweep.Record{}, err
 	}
 	pt, err := collPoint(s)
 	if err != nil {
 		return sweep.Record{}, err
 	}
-	s, f := pt.spec, pt.f
+	return resilienceRun(pt, pt.spec)
+}
+
+// resilienceRun is the kernel's continuation: everything after the model
+// stack exists. The warm-start path forks a shared stack back to its
+// construction snapshot and enters here, so the continuation must read
+// the point's identity from s (seed, scenario), never from pt.spec.
+func resilienceRun(pt collPt, s sweep.Spec) (sweep.Record, error) {
+	sc, err := scenario.New(s.Scenario)
+	if err != nil {
+		return sweep.Record{}, err
+	}
+	f := pt.f
 	eng := f.Engine()
 	starter, ok := pt.alg.(collective.Starter)
 	if !ok {

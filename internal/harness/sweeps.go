@@ -553,86 +553,108 @@ type OSUConfig struct {
 	JitterUS int
 }
 
+// osuPoint builds one OSU grid point's model stack — everything the
+// measurement loop needs, stopped at construction quiescence. The message
+// size is deliberately NOT consumed here (it parameterizes the operation,
+// not the stack), which is what lets the warm-start path share one built
+// stack across a whole size sweep.
+func osuPoint(cfg OSUConfig, s sweep.Spec) (collPt, error) {
+	pt := collPt{spec: s}
+	if cfg.Iters <= 0 {
+		return pt, fmt.Errorf("harness: iters must be positive")
+	}
+	if s.Op == "" {
+		kind, err := opForAlgo(s.Algorithm)
+		if err != nil {
+			return pt, err
+		}
+		s.Op = string(kind)
+		pt.spec = s
+	}
+	g := topology.Testbed188()
+	if s.Nodes < 1 || s.Nodes > len(g.Hosts()) {
+		return pt, fmt.Errorf("harness: nodes must be in [1,%d]", len(g.Hosts()))
+	}
+	linkBw := cfg.LinkGbps * 1e9 / 8
+	if linkBw == 0 {
+		linkBw = 7e9
+	}
+	fcfg := fabric.Config{
+		LinkBandwidth: linkBw,
+		ReorderJitter: sim.Time(cfg.JitterUS) * sim.Microsecond,
+	}
+	eng := newEngine(s.Seed, g, fcfg)
+	f := fabric.New(eng, g, fcfg)
+	reg := newRegistry()
+	cl := cluster.New(f, cluster.Config{Verbs: verbs.Config{Metrics: reg}})
+	// Same partition gate as collPoint; delivery jitter additionally
+	// pins the point (the jitter RNG is fabric-global per-delivery
+	// state, which partitioned transmit does not replicate).
+	if reg == nil && cfg.JitterUS == 0 && registry.PartitionSafe(s.Algorithm) {
+		f.EnablePartition()
+	}
+	alg, err := registry.New(cl, s.Algorithm, registry.Options{
+		Hosts: g.Hosts()[:s.Nodes],
+		Core:  core.Config{Metrics: reg},
+		Coll:  coll.Config{Metrics: reg},
+	})
+	pt.f, pt.cl, pt.alg, pt.reg = f, cl, alg, reg
+	pt.sampler = armFabricTelemetry(reg, f)
+	return pt, err
+}
+
+// osuRun is the kernel's continuation: the warm-up/measure loop over an
+// already built stack. The warm-start path enters here after forking, so
+// the point's identity (size, seed) comes from s, never from pt.spec.
+func osuRun(cfg OSUConfig, pt collPt, s sweep.Spec) (sweep.Record, error) {
+	f := pt.f
+	eng := f.Engine()
+	op := collective.Op{Kind: collective.Kind(s.Op), Bytes: s.MsgBytes}
+	if !pt.alg.Supports(op) {
+		return sweep.Record{}, fmt.Errorf("harness: %s does not support %s of %d bytes on %d nodes",
+			s.Algorithm, op.Kind, op.Bytes, s.Nodes)
+	}
+	var lat []float64
+	var last *collective.Result
+	for i := 0; i < cfg.Warmup+cfg.Iters; i++ {
+		// The sampler self-terminates when the queue drains between
+		// iterations; re-arm it so each iteration is sampled.
+		pt.sampler.Arm()
+		res, err := pt.alg.Run(op)
+		if err != nil {
+			return sweep.Record{}, fmt.Errorf("iter %d: %w", i, err)
+		}
+		if i >= cfg.Warmup {
+			lat = append(lat, res.Duration().Micros())
+			last = res
+		}
+	}
+	sum := stats.Summarize(lat)
+	// Bandwidth numerator is the per-rank network receive payload, the
+	// same semantic AlgBandwidth and Figure 11 use.
+	rec := sweep.Record{Spec: s, Result: last, Metrics: map[string]float64{
+		"median_us":    sum.Median,
+		"ci95_low_us":  sum.CILow,
+		"ci95_high_us": sum.CIHigh,
+		"min_us":       sum.Min,
+		"max_us":       sum.Max,
+		"gibps":        last.RecvPerRank() / (sum.Median / 1e6) / (1 << 30),
+	}}
+	addEngineMetrics(&rec, eng)
+	finishTelemetry(&rec, pt.reg, eng, f, pt.cl)
+	return rec, nil
+}
+
 // OSUKernel returns a sweep kernel that measures one (algorithm, nodes,
 // size) point on the testbed model: the communicator persists across the
 // point's iterations (warm queue pairs and buffers), and the Record carries
 // the last iteration's unified Result plus the latency distribution.
 func OSUKernel(cfg OSUConfig) sweep.Func {
 	return func(s sweep.Spec) (sweep.Record, error) {
-		if cfg.Iters <= 0 {
-			return sweep.Record{}, fmt.Errorf("harness: iters must be positive")
-		}
-		if s.Op == "" {
-			kind, err := opForAlgo(s.Algorithm)
-			if err != nil {
-				return sweep.Record{}, err
-			}
-			s.Op = string(kind)
-		}
-		g := topology.Testbed188()
-		if s.Nodes < 1 || s.Nodes > len(g.Hosts()) {
-			return sweep.Record{}, fmt.Errorf("harness: nodes must be in [1,%d]", len(g.Hosts()))
-		}
-		linkBw := cfg.LinkGbps * 1e9 / 8
-		if linkBw == 0 {
-			linkBw = 7e9
-		}
-		fcfg := fabric.Config{
-			LinkBandwidth: linkBw,
-			ReorderJitter: sim.Time(cfg.JitterUS) * sim.Microsecond,
-		}
-		eng := newEngine(s.Seed, g, fcfg)
-		f := fabric.New(eng, g, fcfg)
-		reg := newRegistry()
-		cl := cluster.New(f, cluster.Config{Verbs: verbs.Config{Metrics: reg}})
-		// Same partition gate as collPoint; delivery jitter additionally
-		// pins the point (the jitter RNG is fabric-global per-delivery
-		// state, which partitioned transmit does not replicate).
-		if reg == nil && cfg.JitterUS == 0 && registry.PartitionSafe(s.Algorithm) {
-			f.EnablePartition()
-		}
-		alg, err := registry.New(cl, s.Algorithm, registry.Options{
-			Hosts: g.Hosts()[:s.Nodes],
-			Core:  core.Config{Metrics: reg},
-			Coll:  coll.Config{Metrics: reg},
-		})
+		pt, err := osuPoint(cfg, s)
 		if err != nil {
 			return sweep.Record{}, err
 		}
-		op := collective.Op{Kind: collective.Kind(s.Op), Bytes: s.MsgBytes}
-		if !alg.Supports(op) {
-			return sweep.Record{}, fmt.Errorf("harness: %s does not support %s of %d bytes on %d nodes",
-				s.Algorithm, op.Kind, op.Bytes, s.Nodes)
-		}
-		sampler := armFabricTelemetry(reg, f)
-		var lat []float64
-		var last *collective.Result
-		for i := 0; i < cfg.Warmup+cfg.Iters; i++ {
-			// The sampler self-terminates when the queue drains between
-			// iterations; re-arm it so each iteration is sampled.
-			sampler.Arm()
-			res, err := alg.Run(op)
-			if err != nil {
-				return sweep.Record{}, fmt.Errorf("iter %d: %w", i, err)
-			}
-			if i >= cfg.Warmup {
-				lat = append(lat, res.Duration().Micros())
-				last = res
-			}
-		}
-		sum := stats.Summarize(lat)
-		// Bandwidth numerator is the per-rank network receive payload, the
-		// same semantic AlgBandwidth and Figure 11 use.
-		rec := sweep.Record{Spec: s, Result: last, Metrics: map[string]float64{
-			"median_us":    sum.Median,
-			"ci95_low_us":  sum.CILow,
-			"ci95_high_us": sum.CIHigh,
-			"min_us":       sum.Min,
-			"max_us":       sum.Max,
-			"gibps":        last.RecvPerRank() / (sum.Median / 1e6) / (1 << 30),
-		}}
-		addEngineMetrics(&rec, eng)
-		finishTelemetry(&rec, reg, eng, f, cl)
-		return rec, nil
+		return osuRun(cfg, pt, pt.spec)
 	}
 }

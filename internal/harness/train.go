@@ -48,7 +48,7 @@ func TrainGrid(workloads []string, nodes, shardBytes []int, scenarios []string, 
 // trainPoint builds the point's fabric and workload: a star topology sized
 // by the workload's host demand (full-bandwidth, as the FSDP scenario of
 // Appendix B assumes).
-func trainPoint(s sweep.Spec, cfg TrainConfig, tr *trace.Recorder, reg *telemetry.Registry) (*cluster.Cluster, workload.Workload, error) {
+func trainPoint(s sweep.Spec, cfg TrainConfig, tr *trace.Recorder, reg *telemetry.Registry) (*cluster.Cluster, workload.Workload, *telemetry.Sampler, error) {
 	w, err := workload.New(s.Workload, workload.Config{
 		Nodes:      s.Nodes,
 		Layers:     cfg.Layers,
@@ -59,21 +59,30 @@ func trainPoint(s sweep.Spec, cfg TrainConfig, tr *trace.Recorder, reg *telemetr
 		Metrics:    reg,
 	})
 	if err != nil {
-		return nil, workload.Workload{}, err
+		return nil, workload.Workload{}, nil, err
 	}
 	hosts := w.MinHosts()
 	if hosts < s.Nodes {
 		hosts = s.Nodes
 	}
 	if hosts < 2 {
-		return nil, workload.Workload{}, fmt.Errorf("harness: workload %q needs at least 2 hosts", s.Workload)
+		return nil, workload.Workload{}, nil, fmt.Errorf("harness: workload %q needs at least 2 hosts", s.Workload)
 	}
 	g := topology.Star(hosts)
 	eng := newEngine(s.Seed, g, fabric.Config{})
 	f := fabric.New(eng, g, fabric.Config{})
 	cl := cluster.New(f, cluster.Config{Verbs: verbs.Config{Metrics: reg}})
-	armFabricTelemetry(reg, f)
-	return cl, w, nil
+	sampler := armFabricTelemetry(reg, f)
+	return cl, w, sampler, nil
+}
+
+// trainPt is one built training point: the model stack plus the workload
+// to start on it — the fork unit of the warm-start path.
+type trainPt struct {
+	cl      *cluster.Cluster
+	w       workload.Workload
+	reg     *telemetry.Registry
+	sampler *telemetry.Sampler
 }
 
 // TrainKernel returns the sweep kernel for workload points: it executes the
@@ -85,88 +94,97 @@ func trainPoint(s sweep.Spec, cfg TrainConfig, tr *trace.Recorder, reg *telemetr
 func TrainKernel(cfg TrainConfig) sweep.Func {
 	return func(s sweep.Spec) (sweep.Record, error) {
 		reg := newRegistry()
-		cl, w, err := trainPoint(s, cfg, nil, reg)
+		cl, w, sampler, err := trainPoint(s, cfg, nil, reg)
 		if err != nil {
 			return sweep.Record{}, err
 		}
-		f := cl.Fabric()
-		eng := f.Engine()
-		p, err := workload.Start(cl, w)
+		return trainRun(trainPt{cl: cl, w: w, reg: reg, sampler: sampler}, s)
+	}
+}
+
+// trainRun is the kernel's continuation: start the workload on the built
+// stack and drive it to completion. The warm-start path enters here after
+// forking a shared stack, so the point's identity (seed, scenario) comes
+// from s.
+func trainRun(pt trainPt, s sweep.Spec) (sweep.Record, error) {
+	cl, w, reg := pt.cl, pt.w, pt.reg
+	f := cl.Fabric()
+	eng := f.Engine()
+	p, err := workload.Start(cl, w)
+	if err != nil {
+		return sweep.Record{}, err
+	}
+	if s.Scenario == "" {
+		eng.Run()
+	} else {
+		sc, err := scenario.New(s.Scenario)
 		if err != nil {
 			return sweep.Record{}, err
 		}
-		if s.Scenario == "" {
-			eng.Run()
-		} else {
-			sc, err := scenario.New(s.Scenario)
-			if err != nil {
-				return sweep.Record{}, err
+		// Scope the scenario to the hosts the workload runs on and
+		// drive the engine in bounded slices, exactly as the resilience
+		// kernel does: a persistent injector keeps the queue full
+		// forever, so completion must be cut off by work done.
+		act := sc.InstallOn(f, f.Graph().Hosts(), s.Seed)
+		for !p.Done() && p.Err() == nil &&
+			eng.Now() < resilienceHorizon && eng.Executed < resilienceEventBudget {
+			eng.RunFor(sim.Millisecond)
+		}
+		act.Stop()
+		if !p.Done() && p.Err() == nil {
+			// Heal the fabric and grant one grace period so transports
+			// stuck on a dead path finish instead of deadlocking.
+			for id := 0; id < f.NumChannels(); id++ {
+				f.ClearOverrides(fabric.ChannelID(id))
 			}
-			// Scope the scenario to the hosts the workload runs on and
-			// drive the engine in bounded slices, exactly as the resilience
-			// kernel does: a persistent injector keeps the queue full
-			// forever, so completion must be cut off by work done.
-			act := sc.InstallOn(f, f.Graph().Hosts(), s.Seed)
-			for !p.Done() && p.Err() == nil &&
-				eng.Now() < resilienceHorizon && eng.Executed < resilienceEventBudget {
+			for end := eng.Now() + resilienceHorizon/4; !p.Done() && p.Err() == nil &&
+				eng.Now() < end && eng.Executed < 2*resilienceEventBudget; {
 				eng.RunFor(sim.Millisecond)
 			}
-			act.Stop()
-			if !p.Done() && p.Err() == nil {
-				// Heal the fabric and grant one grace period so transports
-				// stuck on a dead path finish instead of deadlocking.
-				for id := 0; id < f.NumChannels(); id++ {
-					f.ClearOverrides(fabric.ChannelID(id))
-				}
-				for end := eng.Now() + resilienceHorizon/4; !p.Done() && p.Err() == nil &&
-					eng.Now() < end && eng.Executed < 2*resilienceEventBudget; {
-					eng.RunFor(sim.Millisecond)
-				}
-			}
-			if !p.Done() && p.Err() == nil {
-				return sweep.Record{}, fmt.Errorf("harness: workload %s did not complete under scenario %q within %v / %d events",
-					s.Workload, s.Scenario, resilienceHorizon, resilienceEventBudget)
-			}
 		}
-		rep, err := p.Report()
-		if err != nil {
-			return sweep.Record{}, err
+		if !p.Done() && p.Err() == nil {
+			return sweep.Record{}, fmt.Errorf("harness: workload %s did not complete under scenario %q within %v / %d events",
+				s.Workload, s.Scenario, resilienceHorizon, resilienceEventBudget)
 		}
-		// Step time is the slowest job's step; busy/exposed/overlap
-		// aggregate communication work across jobs.
-		var step, commBusy, exposed sim.Time
-		for i := range rep.Jobs {
-			j := &rep.Jobs[i]
-			if st := j.StepTime(); st > step {
-				step = st
-			}
-			commBusy += j.CommBusy
-			exposed += j.Exposed()
-		}
-		overlap := 0.0
-		if commBusy > 0 {
-			overlap = 1 - float64(exposed)/float64(commBusy)
-			if overlap < 0 {
-				overlap = 0
-			}
-		}
-		rec := sweep.Record{
-			Spec:        s,
-			Workload:    s.Workload,
-			OverlapFrac: overlap,
-			Metrics: map[string]float64{
-				"duration_us":  step.Micros(),
-				"span_us":      rep.Span().Micros(),
-				"comm_busy_us": commBusy.Micros(),
-				"exposed_us":   exposed.Micros(),
-				"overlap_frac": overlap,
-			},
-		}
-		addEngineMetrics(&rec, eng)
-		rep.ExportTelemetry(reg)
-		finishTelemetry(&rec, reg, eng, f, cl)
-		return rec, nil
 	}
+	rep, err := p.Report()
+	if err != nil {
+		return sweep.Record{}, err
+	}
+	// Step time is the slowest job's step; busy/exposed/overlap
+	// aggregate communication work across jobs.
+	var step, commBusy, exposed sim.Time
+	for i := range rep.Jobs {
+		j := &rep.Jobs[i]
+		if st := j.StepTime(); st > step {
+			step = st
+		}
+		commBusy += j.CommBusy
+		exposed += j.Exposed()
+	}
+	overlap := 0.0
+	if commBusy > 0 {
+		overlap = 1 - float64(exposed)/float64(commBusy)
+		if overlap < 0 {
+			overlap = 0
+		}
+	}
+	rec := sweep.Record{
+		Spec:        s,
+		Workload:    s.Workload,
+		OverlapFrac: overlap,
+		Metrics: map[string]float64{
+			"duration_us":  step.Micros(),
+			"span_us":      rep.Span().Micros(),
+			"comm_busy_us": commBusy.Micros(),
+			"exposed_us":   exposed.Micros(),
+			"overlap_frac": overlap,
+		},
+	}
+	addEngineMetrics(&rec, eng)
+	rep.ExportTelemetry(reg)
+	finishTelemetry(&rec, reg, eng, f, cl)
+	return rec, nil
 }
 
 // TrainRecords expands and runs the training grid on the worker pool and,
@@ -193,7 +211,7 @@ func TrainRecords(g sweep.Grid, workers int, cfg TrainConfig) ([]sweep.Record, e
 func TrainTrace(s sweep.Spec, cfg TrainConfig) (*telemetry.Bundle, error) {
 	rec := &trace.Recorder{}
 	reg := traceRegistry()
-	cl, w, err := trainPoint(s, cfg, rec, reg)
+	cl, w, _, err := trainPoint(s, cfg, rec, reg)
 	if err != nil {
 		return nil, err
 	}

@@ -33,6 +33,11 @@ type Plan struct {
 	// kind has no traceable point. The traced run is separate from the
 	// sweep, so records stay byte-identical.
 	Trace func() (*telemetry.Bundle, error)
+	// ReplaySpec names the point `repro replay` seeks and steps through: a
+	// quiet collective cell of the plan (the replay debugger rewinds model
+	// state, which scenario injectors' closures opt out of). Nil when the
+	// kind has no replayable point.
+	ReplaySpec *sweep.Spec
 }
 
 // Section is one experiment of a plan: either a sweep (Specs through
@@ -48,6 +53,10 @@ type Section struct {
 	// Specs are the expanded points; Kernel executes one of them.
 	Specs  []sweep.Spec
 	Kernel sweep.Func
+	// Warm, when non-nil, switches the section to the snapshot/fork path:
+	// Execute runs the specs through sweep.RunWarm instead of sweep.Run.
+	// Records stay byte-identical to the Kernel path.
+	Warm sweep.Warmable
 	// Post annotates the section's records after the sweep (slowdowns,
 	// savings); optional.
 	Post func([]sweep.Record)
@@ -101,9 +110,12 @@ func (p *Plan) Execute(workers int, w io.Writer) (sweep.Report, error) {
 	for _, sec := range p.Sections {
 		var recs []sweep.Record
 		var err error
-		if sec.Run != nil {
+		switch {
+		case sec.Run != nil:
 			recs, err = sec.Run()
-		} else {
+		case sec.Warm != nil:
+			recs, err = sweep.RunWarm(sec.Specs, workers, sec.Warm)
+		default:
 			recs, err = sweep.Run(sec.Specs, workers, sec.Kernel)
 		}
 		if err != nil {
@@ -188,11 +200,15 @@ func (p *Plan) compileOSU() error {
 	header := fmt.Sprintf("# OSU-style sweep: %v, nodes %v, %.0f Gbit/s links, %d iters (+%d warmup)",
 		m.Grid.Algorithms, m.Grid.Nodes, cfg.LinkGbps, cfg.Iters, cfg.Warmup)
 	p.grid(header, "", g, harness.OSUKernel(cfg), nil)
+	if m.WarmStart {
+		p.Sections[0].Warm = harness.WarmOSU(cfg)
+	}
 	specs := p.Sections[0].Specs
 	p.Trace = func() (*telemetry.Bundle, error) {
 		// The last (largest) size point is the representative run.
 		return harness.CollTrace(specs[len(specs)-1], cfg.LinkGbps)
 	}
+	p.ReplaySpec = &specs[len(specs)-1]
 	return nil
 }
 
@@ -206,6 +222,9 @@ func (p *Plan) compileChaos() error {
 		len(m.Grid.Algorithms), len(scenarios), m.Grid.Nodes[0], m.Grid.Sizes[0])
 	p.grid(header, "slowdown_vs_quiet is each point's duration over its quiet sibling's.",
 		g, harness.ResilienceKernel, harness.AnnotateSlowdown)
+	if m.WarmStart {
+		p.Sections[0].Warm = harness.WarmResilience{}
+	}
 	specs := p.Sections[0].Specs
 	p.Trace = func() (*telemetry.Bundle, error) {
 		// The last point is the representative run: grids expand scenarios
@@ -213,6 +232,9 @@ func (p *Plan) compileChaos() error {
 		// whenever the manifest names one.
 		return harness.ChaosTrace(specs[len(specs)-1])
 	}
+	// The first point is the quiet anchor (expandScenarios prepends it),
+	// the only scenario the replay debugger supports.
+	p.ReplaySpec = &specs[0]
 	return nil
 }
 
@@ -245,6 +267,9 @@ func (p *Plan) compileTrain() error {
 	}
 	p.grid(header, "overlap_frac is the share of communication hidden behind compute or other communication.",
 		g, harness.TrainKernel(cfg), post)
+	if m.WarmStart {
+		p.Sections[0].Warm = harness.WarmTrain(cfg)
+	}
 	specs := p.Sections[0].Specs
 	p.Trace = func() (*telemetry.Bundle, error) {
 		return harness.TrainTrace(specs[0], cfg)
@@ -269,6 +294,7 @@ func (p *Plan) compileTraffic() error {
 		// The first cell is mcast-broadcast — the protocol under study.
 		return harness.CollTrace(specs[0], 56)
 	}
+	p.ReplaySpec = &specs[0]
 	return nil
 }
 
@@ -373,5 +399,6 @@ func (p *Plan) compileAG() error {
 	p.Trace = func() (*telemetry.Bundle, error) {
 		return harness.CollTrace(traced, 56)
 	}
+	p.ReplaySpec = &traced
 	return nil
 }

@@ -57,6 +57,12 @@ type Manifest struct {
 	// Shards is the conservative-parallel engine shard count; 0 and 1 both
 	// mean serial. Results are byte-identical at any value.
 	Shards int `json:"shards,omitempty"`
+	// WarmStart runs the sweep on the snapshot/fork path: grid points that
+	// share a construction prefix (everything but seed, message size or
+	// scenario, depending on kind) share one built stack per worker and fork
+	// it per point. Results are byte-identical to a cold run; only wall-clock
+	// changes. Consumed by the osu, chaos and train kinds.
+	WarmStart bool `json:"warm_start,omitempty"`
 	// Figures selects figures for the dpa (5, 13, 14, 15, 16), cost (2, 7)
 	// and ag (10 or 11, exactly one) kinds.
 	Figures []int `json:"figures,omitempty"`
@@ -330,6 +336,7 @@ func (m Manifest) fields() []field {
 		{"grid.sizes", len(m.Grid.Sizes) > 0},
 		{"grid.scenarios", len(m.Grid.Scenarios) > 0},
 		{"seed", m.Seed != nil},
+		{"warm_start", m.WarmStart},
 		{"figures", len(m.Figures) > 0},
 		{"tables", len(m.Tables) > 0},
 		{"speedup", m.Speedup},
@@ -346,9 +353,9 @@ func (m Manifest) fields() []field {
 // fields (name, workers, shards, output, baseline, expect) are always
 // legal and not listed.
 var consumes = map[string][]string{
-	"osu":     {"grid.algorithms", "grid.ops", "grid.nodes", "grid.sizes", "seed", "osu", "telemetry"},
-	"chaos":   {"grid.algorithms", "grid.scenarios", "grid.nodes", "grid.sizes", "seed", "telemetry"},
-	"train":   {"grid.workloads", "grid.scenarios", "grid.nodes", "grid.sizes", "seed", "train", "telemetry"},
+	"osu":     {"grid.algorithms", "grid.ops", "grid.nodes", "grid.sizes", "seed", "warm_start", "osu", "telemetry"},
+	"chaos":   {"grid.algorithms", "grid.scenarios", "grid.nodes", "grid.sizes", "seed", "warm_start", "telemetry"},
+	"train":   {"grid.workloads", "grid.scenarios", "grid.nodes", "grid.sizes", "seed", "warm_start", "train", "telemetry"},
 	"traffic": {"grid.nodes", "grid.sizes", "traffic", "telemetry"},
 	"dpa":     {"figures", "tables", "all", "telemetry"},
 	"cost":    {"figures", "speedup", "economics", "all", "telemetry"},

@@ -296,6 +296,18 @@ type Engine struct {
 	// on the time of the globally last event, the value the serial engine
 	// would have ended at regardless of shard count.
 	lastFired Time
+
+	// splits records the child generators handed out by SplitRNG, in
+	// creation order, so Reseed can replay the derivations and leave every
+	// child in exactly the state a cold construction with the new seed
+	// would have produced.
+	splits []*RNG
+
+	// EventHook, when non-nil, observes every fired event just before its
+	// callback runs: the firing time, its (possibly banded) sequence key,
+	// and the handler (nil for closure events). It exists for the replay
+	// debugger's step mode; the nil check is the only cost on the hot path.
+	EventHook func(at Time, seq uint64, h Handler)
 }
 
 // localSeqBand is the first sequence number handed to locally-scheduled
@@ -321,6 +333,31 @@ func (e *Engine) Now() Time { return e.now }
 
 // RNG returns the engine's deterministic random number generator.
 func (e *Engine) RNG() *RNG { return e.rng }
+
+// SplitRNG derives a child generator from the engine's root RNG and records
+// it, so Snapshot captures its state and Reseed can re-derive it. Model
+// layers that seed themselves from the engine at construction (the fabric's
+// drop/jitter stream) must use this instead of RNG().Split() to stay
+// snapshot- and reseed-coherent.
+func (e *Engine) SplitRNG() *RNG {
+	r := e.rng.Split()
+	e.splits = append(e.splits, r)
+	return r
+}
+
+// Reseed rewinds the engine's RNG tree to the state a cold NewEngine(seed)
+// construction would have: the root is reseeded and every SplitRNG child is
+// re-derived in its original creation order. It is only sound while the
+// root stream has been consumed exclusively by SplitRNG since construction
+// — true for every model layer in this repository, where runtime draws come
+// from the children — and exists so a warm-forked instance can adopt a new
+// sweep point's seed exactly as if it had been built cold with it.
+func (e *Engine) Reseed(seed uint64) {
+	e.rng.SetState(NewRNG(seed).State())
+	for _, child := range e.splits {
+		child.SetState(e.rng.Split().State())
+	}
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: that is always a protocol-logic bug, and silently clamping would
@@ -658,6 +695,9 @@ func (e *Engine) step() bool {
 	e.Executed++
 	e.live--
 	ev.fired = true
+	if e.EventHook != nil {
+		e.EventHook(ev.at, ev.seq, ev.h)
+	}
 	if ev.fn != nil {
 		fn := ev.fn
 		// Release the closure before running it: a caller holding the
@@ -673,6 +713,17 @@ func (e *Engine) step() bool {
 	e.release(ev)
 	h.OnEvent(e, hd, a0, a1, obj)
 	return true
+}
+
+// Step fires exactly one event on a standalone serial engine and reports
+// whether one was pending. It is the replay debugger's single-step
+// primitive; driving a sharded group one event at a time is not meaningful
+// (epoch windows batch events), so Step panics on a group member.
+func (e *Engine) Step() bool {
+	if e.group != nil {
+		panic("sim: Step on a Sharded group member; single-stepping is serial-only")
+	}
+	return e.step()
 }
 
 // Run executes events until the queue is empty or Stop is called. It returns

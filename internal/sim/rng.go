@@ -73,6 +73,20 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64()*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB)
 }
 
+// State returns the generator's internal state, for snapshotting. The state
+// fully determines the stream: SetState(State()) is an exact rewind.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the generator's internal state with a value obtained
+// from State. The zero state is remapped exactly like NewRNG's zero seed,
+// preserving the no-fixed-point invariant.
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	r.state = s
+}
+
 // Splitmix64 is the splitmix64 finalizer: a bijective avalanche mix used to
 // derive decorrelated seeds from structured inputs (e.g. a base seed plus a
 // sweep-grid index). Like the RNG itself it is pinned here so derived seeds

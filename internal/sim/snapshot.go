@@ -1,0 +1,355 @@
+// Engine snapshot and fork support.
+//
+// A Snapshot is a compact immutable record of an engine's execution state:
+// the clock, the sequence counter, the throughput counters, the RNG tree
+// (root state plus every SplitRNG child), and one record per live queued
+// event. Taking one is O(live events); it does not copy history, the event
+// pool, or the calendar geometry.
+//
+// Forking is restore-in-place: Restore rewinds the SAME engine (and, via
+// the snap package, the same model object graph) back to the snapshot,
+// rather than building a parallel copy. That choice is forced by the event
+// representation — pending events hold Handler and payload pointers into
+// live model objects, so a deep-copied engine would need a full
+// object-graph relocation of every handler and payload. Restoring in place
+// keeps every pointer valid: the queue is purged, the scalars rewound, and
+// each recorded event re-filed under its original (time, seq) key, so the
+// continuation fires the exact event sequence a cold run would.
+//
+// What a Snapshot does NOT capture is the deep state of the model objects
+// its events point into (fabric channels, verbs queue pairs, telemetry
+// counters). Callers that need full-model forking pair an engine Snapshot
+// with a state capture of those roots (internal/snap); the warm-start sweep
+// layer does exactly that.
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"unsafe"
+)
+
+// eventRecord is one live event inside a Snapshot. Payloads (h, fn, obj)
+// are captured by reference: re-filing them under the original key is what
+// keeps restore O(live events), and deep payload state is the caller's to
+// capture alongside the snapshot. The record also pins the *Event struct
+// and the generation it occupied at capture, so Restore can re-file into
+// the identical incarnation: model state captured alongside the snapshot
+// holds Handles to these events, and a mid-run rewind must leave those
+// handles valid.
+type eventRecord struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	h      Handler
+	arg0   uint64
+	arg1   int
+	obj    any
+	pooled bool
+	ev     *Event
+	gen    uint64
+}
+
+// Snapshot is an immutable record of an engine's state at one instant; see
+// the file comment. Construct with Engine.Snapshot, consume with Restore.
+type Snapshot struct {
+	now       Time
+	lastFired Time
+	seq       uint64
+	executed  uint64
+	scheduled uint64
+	recycled  uint64
+	mailSent  uint64
+	rootRNG   uint64
+	splitRNG  []uint64
+	events    []eventRecord
+}
+
+// Events returns the number of live events the snapshot carries.
+func (s *Snapshot) Events() int { return len(s.events) }
+
+// Now returns the virtual time the snapshot was taken at.
+func (s *Snapshot) Now() Time { return s.now }
+
+// Payloads returns the distinct pointer-shaped payload objects referenced
+// by the snapshot's live events. A mid-run model fork must capture these
+// alongside the model roots: an in-flight payload (a packet crossing the
+// fabric) is reachable only from the event queue, yet the timeline that
+// keeps running after the snapshot will mutate it. Non-pointer payloads
+// are omitted — a value boxed in an interface is immutable, and funcs and
+// channels are opaque to the state-capture layer.
+func (s *Snapshot) Payloads() []any {
+	seen := make(map[unsafe.Pointer]bool, len(s.events))
+	var out []any
+	for i := range s.events {
+		obj := s.events[i].obj
+		if obj == nil {
+			continue
+		}
+		v := reflect.ValueOf(obj)
+		switch v.Kind() {
+		case reflect.Pointer, reflect.Map, reflect.Slice:
+			p := v.UnsafePointer()
+			if p == nil || seen[p] {
+				continue
+			}
+			seen[p] = true
+			out = append(out, obj)
+		}
+	}
+	return out
+}
+
+// Bytes estimates the snapshot's in-memory size — the informational
+// "snapshot bytes" perf metric. It is exact for the record itself; payloads
+// referenced by events are shared with the live model and not counted.
+func (s *Snapshot) Bytes() int {
+	return int(unsafe.Sizeof(*s)) +
+		len(s.splitRNG)*8 +
+		len(s.events)*int(unsafe.Sizeof(eventRecord{}))
+}
+
+// Snapshot captures the engine's current state. The engine may keep
+// running afterwards; the snapshot is unaffected (event records are
+// copied out of the queue, never aliased into it).
+func (e *Engine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		now:       e.now,
+		lastFired: e.lastFired,
+		seq:       e.seq,
+		executed:  e.Executed,
+		scheduled: e.Scheduled,
+		recycled:  e.Recycled,
+		mailSent:  e.MailSent,
+		rootRNG:   e.rng.State(),
+		events:    make([]eventRecord, 0, e.live),
+	}
+	if len(e.splits) > 0 {
+		s.splitRNG = make([]uint64, len(e.splits))
+		for i, child := range e.splits {
+			s.splitRNG[i] = child.State()
+		}
+	}
+	record := func(ev *Event) {
+		if ev == nil || ev.canceled {
+			return
+		}
+		s.events = append(s.events, eventRecord{
+			at: ev.at, seq: ev.seq,
+			fn: ev.fn, h: ev.h,
+			arg0: ev.arg0, arg1: ev.arg1, obj: ev.obj,
+			pooled: ev.pooled,
+			ev:     ev, gen: ev.gen,
+		})
+	}
+	// Consumed open-bucket slots are nil and cancelled entries are
+	// flagged; record() skips both, so a plain walk sees exactly the live
+	// set.
+	for i := range e.buckets {
+		for _, ev := range e.buckets[i] {
+			record(ev)
+		}
+	}
+	for _, ev := range e.cur {
+		record(ev)
+	}
+	for _, ev := range e.far {
+		record(ev)
+	}
+	return s
+}
+
+// purge empties the queue: pooled events return to the free list (their
+// generations bump, so outstanding Handles go stale), closure events are
+// orphaned (their caller-held *Event becomes an inert no-op for Cancel).
+func (e *Engine) purge() {
+	e.closeOpen()
+	for i := range e.buckets {
+		b := e.buckets[i]
+		for j, ev := range b {
+			b[j] = nil
+			if ev == nil {
+				continue
+			}
+			ev.where = locNone
+			if ev.pooled {
+				e.release(ev)
+			} else {
+				ev.fn = nil
+			}
+		}
+		e.buckets[i] = b[:0]
+	}
+	for i, ev := range e.far {
+		e.far[i] = nil
+		ev.where = locNone
+		if ev.pooled {
+			e.release(ev)
+		} else {
+			ev.fn = nil
+		}
+	}
+	e.far = e.far[:0]
+	e.nearCount = 0
+	e.live = 0
+	e.opened = false
+	e.pos = 0
+	e.cursor = 0
+}
+
+// Restore rewinds the engine to the snapshot: the queue is purged and
+// rebuilt from the recorded events under their original (time, seq) keys,
+// the clock, sequence counter, throughput counters and RNG tree are
+// rewound. Restore must run on the engine the snapshot was taken from (the
+// event records point into its model graph); restoring a snapshot with a
+// different SplitRNG child count panics, because the RNG tree could not be
+// rewound coherently.
+func (e *Engine) Restore(s *Snapshot) {
+	if len(s.splitRNG) != len(e.splits) {
+		panic(fmt.Sprintf("sim: Restore with %d split RNG states onto an engine with %d children; snapshots only restore onto their own engine",
+			len(s.splitRNG), len(e.splits)))
+	}
+	e.purge()
+	e.now = s.now
+	e.lastFired = s.lastFired
+	e.stopped = false
+	e.base = s.now
+	// Re-file every recorded event into the SAME *Event struct it occupied
+	// at capture, with its original generation. After purge every pooled
+	// event is on the free list, so the recorded structs are reclaimed from
+	// it first; closure events keep their caller-visible identity. Identity
+	// matters because model state captured alongside the snapshot holds
+	// Handles {ev, gen} to these events — a rewind that re-filed into fresh
+	// pool slots would leave every such handle stale.
+	if len(s.events) > 0 {
+		refiled := make(map[*Event]bool, len(s.events))
+		for i := range s.events {
+			if s.events[i].pooled {
+				refiled[s.events[i].ev] = true
+			}
+		}
+		kept := e.free[:0]
+		for _, fe := range e.free {
+			if !refiled[fe] {
+				kept = append(kept, fe)
+			}
+		}
+		for i := len(kept); i < len(e.free); i++ {
+			e.free[i] = nil
+		}
+		e.free = kept
+	}
+	for i := range s.events {
+		r := &s.events[i]
+		ev := r.ev
+		ev.at = r.at
+		ev.seq = r.seq
+		ev.gen = r.gen
+		ev.fn = r.fn
+		ev.h = r.h
+		ev.arg0 = r.arg0
+		ev.arg1 = r.arg1
+		ev.obj = r.obj
+		ev.pooled = r.pooled
+		ev.canceled = false
+		ev.fired = false
+		ev.index = -1
+		e.schedule(ev)
+	}
+	// schedule() ticked these; overwrite with the recorded values so the
+	// continuation's counters match a cold run exactly.
+	e.seq = s.seq
+	e.Executed = s.executed
+	e.Scheduled = s.scheduled
+	e.Recycled = s.recycled
+	e.MailSent = s.mailSent
+	e.rng.SetState(s.rootRNG)
+	for i, st := range s.splitRNG {
+		e.splits[i].SetState(st)
+	}
+}
+
+// GroupSnapshot is the Sharded counterpart of Snapshot: one engine
+// snapshot per shard plus the group's epoch counters. It can only be taken
+// (and restored) at a quiescent barrier — every mailbox empty — which is
+// always true before the first Run and after any Run returns.
+type GroupSnapshot struct {
+	shards []*Snapshot
+	epochs uint64
+	stalls uint64
+}
+
+// Bytes estimates the group snapshot's in-memory size.
+func (s *GroupSnapshot) Bytes() int {
+	n := int(unsafe.Sizeof(*s))
+	for _, sh := range s.shards {
+		n += sh.Bytes()
+	}
+	return n
+}
+
+// Payloads returns the distinct pointer-shaped payloads across every
+// shard's live events; see Snapshot.Payloads.
+func (s *GroupSnapshot) Payloads() []any {
+	var out []any
+	for _, sh := range s.shards {
+		out = append(out, sh.Payloads()...)
+	}
+	return out
+}
+
+// Snapshot captures every shard's engine state. It panics if any mailbox
+// holds an undelivered message: mid-epoch state is not a consistent cut.
+func (g *Sharded) Snapshot() *GroupSnapshot {
+	for i := range g.mail {
+		if len(g.mail[i].msgs) != 0 {
+			panic(fmt.Sprintf("sim: Sharded.Snapshot with %d undelivered messages in mailbox %d->%d; snapshots require a quiescent group",
+				len(g.mail[i].msgs), i/len(g.shards), i%len(g.shards)))
+		}
+	}
+	s := &GroupSnapshot{
+		shards: make([]*Snapshot, len(g.shards)),
+		epochs: g.Epochs,
+		stalls: g.Stalls,
+	}
+	for i, e := range g.shards {
+		s.shards[i] = e.Snapshot()
+	}
+	return s
+}
+
+// Restore rewinds every shard to the group snapshot. Shard counts must
+// match (snapshots only restore onto their own group).
+func (g *Sharded) Restore(s *GroupSnapshot) {
+	if len(s.shards) != len(g.shards) {
+		panic(fmt.Sprintf("sim: Restore of a %d-shard snapshot onto a %d-shard group", len(s.shards), len(g.shards)))
+	}
+	for i := range g.mail {
+		if len(g.mail[i].msgs) != 0 {
+			panic("sim: Sharded.Restore with undelivered mailbox messages; restore requires a quiescent group")
+		}
+	}
+	for i, e := range g.shards {
+		e.Restore(s.shards[i])
+	}
+	g.Epochs = s.epochs
+	g.Stalls = s.stalls
+}
+
+// Reseed rewinds the whole group's RNG trees to the states a cold
+// NewSharded(seed, ...) construction would have produced: the primary is
+// reseeded with seed itself and shard i>0 with the same splitmix64
+// derivation NewSharded uses; see Engine.Reseed for the soundness
+// condition.
+func (g *Sharded) Reseed(seed uint64) {
+	for i, e := range g.shards {
+		s := seed
+		if i > 0 {
+			s = Splitmix64(seed ^ uint64(i)*0x9E3779B97F4A7C15)
+			if s == 0 {
+				s = 1
+			}
+		}
+		e.Reseed(s)
+	}
+}
